@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks are intentionally run at a reduced dataset scale (controlled by the
+``REPRO_BENCH_SCALE`` environment variable, default ``2e-4`` of the paper's
+nonzero counts) so the whole suite completes in minutes on a laptop.  The
+hypergraph partitions — the expensive, offline preprocessing, exactly as with
+PaToH in the paper — are computed once per session and cached.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+#: Dataset scale used by the benchmark suite (fraction of the paper's nnz).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2e-4"))
+
+#: Largest simulated rank count exercised by the strong-scaling benchmark.
+BENCH_MAX_NODES = int(os.environ.get("REPRO_BENCH_MAX_NODES", "64"))
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Session-wide experiment context (datasets + cached partitions)."""
+    return ExperimentContext(scale=BENCH_SCALE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def node_counts() -> tuple:
+    return tuple(p for p in (4, 16, 64, 256) if p <= BENCH_MAX_NODES)

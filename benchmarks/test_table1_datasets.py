@@ -1,0 +1,36 @@
+"""Benchmark / regeneration of Table I: dataset properties.
+
+Regenerates the analog of each of the paper's four tensors and reports their
+mode sizes and nonzero counts next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import PAPER_DATASETS, make_dataset
+from repro.experiments import render_table1, run_table1
+from benchmarks.conftest import BENCH_SCALE
+
+
+@pytest.mark.parametrize("dataset", ["netflix", "nell", "delicious", "flickr"])
+def test_generate_dataset_analog(benchmark, dataset):
+    """Time the generation of one dataset analog (Table I row)."""
+    tensor = benchmark(make_dataset, dataset, scale=BENCH_SCALE, seed=0)
+    spec = PAPER_DATASETS[dataset]
+    assert tensor.order == spec.order
+    assert tensor.nnz > 0
+    # The analog preserves the relative ordering of the paper's mode sizes
+    # (ties are allowed: very small modes all clamp to the minimum size).
+    for i in range(spec.order):
+        for j in range(spec.order):
+            if spec.shape[i] > spec.shape[j]:
+                assert tensor.shape[i] >= tensor.shape[j]
+
+
+def test_table1_rows(context, benchmark):
+    """Regenerate the full Table I and print it."""
+    rows = benchmark.pedantic(run_table1, args=(context,), rounds=1, iterations=1)
+    assert len(rows) == 4
+    print()
+    print(render_table1(rows))

@@ -1,0 +1,74 @@
+"""Benchmark / regeneration of Table II: distributed strong scaling.
+
+For every dataset analog and partitioning strategy, the modelled time per HOOI
+iteration is produced for increasing simulated rank counts (the paper's 1-256
+BlueGene/Q nodes; the benchmark default stops at 64 — set
+``REPRO_BENCH_MAX_NODES=256`` for the full sweep).
+
+The assertions encode the paper's qualitative findings:
+
+* every configuration gets faster as ranks are added (strong scaling);
+* the fine-grain hypergraph partition (fine-hp) is the fastest (or ties within
+  10%) at the largest rank count on the 4-mode tensors;
+* fine-hp is never slower than fine-rd at the largest rank count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import collect_partition_statistics, estimate_iteration_time
+from repro.experiments import STRATEGIES, render_table2, run_table2
+from repro.experiments.calibration import scaled_machine
+from benchmarks.conftest import BENCH_SCALE
+
+DATASETS = ("delicious", "flickr", "nell", "netflix")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table2_strong_scaling(context, node_counts, benchmark, dataset):
+    machine = scaled_machine(BENCH_SCALE)
+    tensor = context.tensor(dataset)
+    ranks = context.ranks(dataset)
+
+    # Partition construction (the offline PaToH-equivalent step) happens once
+    # outside the timed region; the benchmark times the per-configuration
+    # model evaluation, mirroring "time per HOOI iteration" bookkeeping.
+    partitions = {
+        (strategy, p): context.partition(dataset, strategy, p)
+        for strategy in STRATEGIES
+        for p in node_counts
+    }
+
+    def regenerate():
+        table = {}
+        for strategy in STRATEGIES:
+            table[strategy] = {}
+            for p in node_counts:
+                partition = partitions[(strategy, p)]
+                stats = collect_partition_statistics(tensor, partition, ranks)
+                table[strategy][p] = estimate_iteration_time(
+                    tensor, partition, ranks, machine=machine, statistics=stats
+                )
+        return table
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    print()
+    print(render_table2({dataset: table}))
+
+    largest = node_counts[-1]
+    smallest = node_counts[0]
+    for strategy in STRATEGIES:
+        times = table[strategy]
+        assert times[largest] < times[smallest], (
+            f"{dataset}/{strategy} does not scale: {times}"
+        )
+    # The paper itself reports NELL as the one tensor where the random
+    # fine-grain partition beats the hypergraph one (communication imbalance),
+    # so the fine-hp <= fine-rd check is not asserted there.
+    if dataset != "nell":
+        assert table["fine-hp"][largest] <= table["fine-rd"][largest] * 1.05
+    if tensor.order == 4:
+        best_coarse = min(table[s][largest] for s in ("coarse-hp", "coarse-bl"))
+        assert table["fine-hp"][largest] <= best_coarse * 1.10

@@ -1,0 +1,66 @@
+"""Benchmark / regeneration of Table III: per-mode work and communication statistics.
+
+The paper's Table III analyses the Flickr tensor partitioned 256 ways; the
+benchmark regenerates the same per-mode max/avg statistics for the Flickr
+analog at the benchmark rank count and asserts the paper's qualitative
+findings:
+
+* fine-grain partitions balance the TTMc work perfectly (max == avg);
+* coarse-grain partitions show large TTMc imbalance in at least one mode;
+* the hypergraph fine-grain partition (fine-hp) communicates far less than
+  the random one (fine-rd);
+* fine-rd inflates the TRSVD work (redundant rows == cut size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import STRATEGIES, render_table3, run_table3
+
+NUM_PARTS = 16
+
+
+def test_table3_statistics(context, benchmark):
+    result = benchmark.pedantic(
+        run_table3,
+        kwargs=dict(context=context, dataset="flickr", num_parts=NUM_PARTS,
+                    strategies=STRATEGIES),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table3(result, dataset="flickr", num_parts=NUM_PARTS))
+
+    tensor = context.tensor("flickr")
+    order = tensor.order
+
+    fine_hp, fine_rd = result["fine-hp"], result["fine-rd"]
+    coarse_hp, coarse_bl = result["coarse-hp"], result["coarse-bl"]
+
+    # (1) fine-grain TTMc work is identical in every mode and balanced.
+    for rows in (fine_hp, fine_rd):
+        for row in rows:
+            assert row["wttmc_max"] <= row["wttmc_avg"] * 1.25
+
+    # (2) at least one mode of each coarse partition shows >= 1.5x imbalance.
+    for rows in (coarse_hp, coarse_bl):
+        imbalances = [row["wttmc_max"] / max(row["wttmc_avg"], 1.0) for row in rows]
+        assert max(imbalances) >= 1.5
+
+    # (3) the hypergraph partition cuts communication vs the random one.
+    hp_comm = sum(row["comm_avg"] for row in fine_hp)
+    rd_comm = sum(row["comm_avg"] for row in fine_rd)
+    assert hp_comm < 0.6 * rd_comm
+
+    # (4) fine-rd's redundant TRSVD rows exceed fine-hp's in the large modes.
+    large_mode = int(np.argmax(tensor.shape))
+    assert fine_rd[large_mode]["wtrsvd_avg"] >= fine_hp[large_mode]["wtrsvd_avg"]
+
+    # (5) coarse partitions never do redundant TRSVD work: their average per
+    # mode equals the number of non-empty rows divided by the rank count.
+    for rows in (coarse_hp, coarse_bl):
+        for mode, row in enumerate(rows):
+            nonempty = len(tensor.nonempty_rows(mode))
+            assert np.isclose(row["wtrsvd_avg"] * NUM_PARTS, nonempty, rtol=1e-6)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Distributed HOOI on the simulated MPI runtime: partitions, volumes, scaling.
+
+This example reproduces, at laptop scale, the workflow behind the paper's
+Tables II-IV:
+
+1. generate the Flickr analog tensor;
+2. build all four task distributions the paper evaluates (fine-hp, fine-rd,
+   coarse-hp, coarse-bl);
+3. run the full distributed HOOI (Algorithm 4) on the simulated MPI world and
+   compare per-strategy communication volumes, work balance and simulated
+   time per iteration;
+4. sweep the simulated rank count with the machine model to show the strong
+   scaling trend.
+
+Run:  python examples/distributed_scaling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HOOIOptions, hooi
+from repro.data import make_dataset
+from repro.distributed import (
+    collect_partition_statistics,
+    distributed_hooi,
+    estimate_iteration_time,
+)
+from repro.experiments.calibration import paper_ranks, scaled_machine
+from repro.partition import make_partition
+
+SCALE = 2e-4
+NUM_RANKS = 8
+STRATEGIES = ("fine-hp", "fine-rd", "coarse-hp", "coarse-bl")
+
+
+def main() -> None:
+    tensor = make_dataset("flickr", scale=SCALE, seed=0)
+    ranks = paper_ranks(tensor.order)
+    machine = scaled_machine(SCALE)
+    print(f"Flickr analog: {tensor}")
+    print(f"decomposition ranks: {ranks}, simulated MPI ranks: {NUM_RANKS}\n")
+
+    options = HOOIOptions(max_iterations=3, init="random", seed=0)
+    reference = hooi(tensor, ranks, options)
+    print(f"sequential reference fit after {reference.iterations} iterations: "
+          f"{reference.fit:.4f}\n")
+
+    print(f"{'strategy':10s} {'fit ok':>6s} {'sim s/iter':>11s} "
+          f"{'comm max (doubles)':>19s} {'comm avg':>9s} {'TTMc imbalance':>15s}")
+    for strategy in STRATEGIES:
+        partition = make_partition(tensor, NUM_RANKS, strategy, seed=0, ranks=ranks)
+        run = distributed_hooi(tensor, ranks, partition, options, machine=machine)
+        agrees = np.allclose(run.fit_history, reference.fit_history, atol=1e-6)
+        volumes = run.comm_volume_elements()
+        stats = collect_partition_statistics(tensor, partition, ranks)
+        worst_imbalance = max(
+            m.ttmc_work.max() / max(m.ttmc_work.mean(), 1.0) for m in stats.modes
+        )
+        print(f"{strategy:10s} {str(agrees):>6s} "
+              f"{run.simulated_time_per_iteration:11.3f} "
+              f"{volumes.max():19.0f} {volumes.mean():9.0f} "
+              f"{worst_imbalance:15.2f}")
+
+    print("\nStrong scaling (modelled seconds per HOOI iteration, fine-hp):")
+    print(f"{'#ranks':>7s} {'fine-hp':>9s} {'coarse-bl':>10s}")
+    for num_parts in (1, 4, 16, 64):
+        row = []
+        for strategy in ("fine-hp", "coarse-bl"):
+            partition = make_partition(tensor, num_parts, strategy, seed=0, ranks=ranks)
+            row.append(estimate_iteration_time(tensor, partition, ranks, machine=machine))
+        print(f"{num_parts:7d} {row[0]:9.2f} {row[1]:10.2f}")
+
+    print("\nTakeaway (matches the paper): the fine-grain hypergraph partition "
+          "keeps the TTMc balanced and the communication volume low, so it "
+          "scales further than coarse-grain or random distributions.")
+
+
+if __name__ == "__main__":
+    main()

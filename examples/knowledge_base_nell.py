@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Knowledge-base analysis on a NELL-style (entity, relation, entity) tensor.
+
+The paper's NELL tensor stores (entity, relation, entity) beliefs from the
+"Read the Web" project.  A Tucker decomposition of such a tensor gives
+per-mode latent spaces: rows of the entity factors embed entities, rows of the
+relation factor embed relations, and the core tensor couples them.  This
+example:
+
+1. generates the scaled NELL analog;
+2. fits a Tucker model with HOOI (comparing random vs HOSVD initialization,
+   the two options Algorithm 1 mentions);
+3. uses the mode-1 factor to find nearest-neighbour entities in latent space;
+4. scores a few unseen (entity, relation, entity) triples against observed
+   ones — the missing-link-prediction use the paper cites for Tucker.
+
+Run:  python examples/knowledge_base_nell.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HOOIOptions, hooi
+from repro.data import make_dataset
+
+
+def cosine_neighbours(embedding: np.ndarray, row: int, top: int) -> np.ndarray:
+    """Indices of the ``top`` nearest rows of ``embedding`` to ``row`` (cosine)."""
+    norms = np.linalg.norm(embedding, axis=1) + 1e-12
+    normalized = embedding / norms[:, None]
+    scores = normalized @ normalized[row]
+    scores[row] = -np.inf
+    return np.argsort(-scores)[:top]
+
+
+def main() -> None:
+    tensor = make_dataset("nell", scale=3e-4, seed=0)
+    print(f"NELL analog: {tensor} (entity x relation x entity)")
+
+    ranks = (10, 5, 10)
+    random_run = hooi(tensor, ranks,
+                      HOOIOptions(max_iterations=8, init="random", seed=0))
+    hosvd_run = hooi(tensor, ranks,
+                     HOOIOptions(max_iterations=8, init="hosvd", seed=0))
+    print(f"\nfit with random init : {random_run.fit:.4f} "
+          f"({random_run.iterations} iterations)")
+    print(f"fit with HOSVD init  : {hosvd_run.fit:.4f} "
+          f"({hosvd_run.iterations} iterations)")
+
+    model = hosvd_run.decomposition
+    entity_embedding = model.factors[0]
+
+    # 3. Latent-space neighbours of the most active entities.
+    activity = tensor.mode_counts(0)
+    busiest = np.argsort(-activity)[:3]
+    print("\nNearest neighbours in the entity latent space:")
+    for entity in busiest:
+        neighbours = cosine_neighbours(entity_embedding, int(entity), top=3)
+        print(f"  entity {int(entity):5d} (degree {int(activity[entity])}): "
+              f"neighbours {neighbours.tolist()}")
+
+    # 4. Link prediction: observed triples should score higher than random ones.
+    rng = np.random.default_rng(3)
+    observed_sample = tensor.indices[
+        rng.choice(tensor.nnz, size=min(500, tensor.nnz), replace=False)
+    ]
+    random_triples = np.column_stack(
+        [rng.integers(0, s, size=500) for s in tensor.shape]
+    )
+    observed_scores = model.reconstruct_entries(observed_sample)
+    random_scores = model.reconstruct_entries(random_triples)
+    print("\nLink prediction sanity check:")
+    print(f"  mean model score of observed triples : {observed_scores.mean():.4f}")
+    print(f"  mean model score of random triples   : {random_scores.mean():.4f}")
+    better = float(np.mean(observed_scores > np.median(random_scores)))
+    print(f"  observed triples scoring above the random median: {better:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Tag recommendation on a Delicious/Flickr-style 4-mode tensor.
+
+The paper motivates the Tucker decomposition with item/tag recommendation on
+social-bookmarking data (Delicious, Flickr): a sparse
+``time x user x resource x tag`` tensor is decomposed, and the reconstructed
+scores rank candidate tags for a (user, resource) pair.  This example runs
+that workflow end-to-end on a synthetic Delicious analog:
+
+1. generate the scaled analog tensor (power-law users/resources/tags);
+2. hold out a fraction of the observed (user, resource, tag) interactions;
+3. fit a Tucker model with HOOI and a CP model with CP-ALS (baseline);
+4. for each held-out interaction, rank all candidate tags and report the
+   hit-rate@k of both models.
+
+Run:  python examples/tag_recommendation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import cp_als
+from repro.core import HOOIOptions, SparseTensor, hooi
+from repro.data import make_dataset
+
+
+def split_train_test(tensor: SparseTensor, fraction: float, seed: int):
+    """Randomly hold out a fraction of the nonzeros."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random(tensor.nnz) < fraction
+    test = tensor.select_nonzeros(np.flatnonzero(mask))
+    train = tensor.select_nonzeros(np.flatnonzero(~mask))
+    return train, test
+
+
+def hit_rate_at_k(score_fn, test: SparseTensor, num_tags: int, k: int,
+                  sample: int, seed: int) -> float:
+    """Fraction of held-out interactions whose true tag ranks in the top-k."""
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(test.nnz, size=min(sample, test.nnz), replace=False)
+    hits = 0
+    for position in picks:
+        time_idx, user, resource, true_tag = test.indices[position]
+        candidates = np.arange(num_tags)
+        coords = np.column_stack([
+            np.full(num_tags, time_idx),
+            np.full(num_tags, user),
+            np.full(num_tags, resource),
+            candidates,
+        ])
+        scores = score_fn(coords)
+        top = np.argsort(-scores)[:k]
+        hits += int(true_tag in candidates[top])
+    return hits / len(picks)
+
+
+def main() -> None:
+    tensor = make_dataset("delicious", scale=2e-4, seed=0)
+    print(f"Delicious analog: {tensor} (time x user x resource x tag)")
+
+    train, test = split_train_test(tensor, fraction=0.2, seed=1)
+    print(f"train nonzeros: {train.nnz},  held-out: {test.nnz}")
+
+    ranks = (4, 8, 8, 8)
+    result = hooi(train, ranks, HOOIOptions(max_iterations=6, init="hosvd", seed=0))
+    tucker = result.decomposition
+    print(f"\nTucker/HOOI: ranks {tucker.ranks}, fit {result.fit:.4f}, "
+          f"{result.iterations} iterations")
+
+    cp = cp_als(train, rank=8, max_iterations=15, seed=0)
+    print(f"CP-ALS     : rank 8, fit {cp.fit:.4f}, {cp.iterations} iterations")
+
+    num_tags = tensor.shape[3]
+    k = max(num_tags // 20, 5)
+    tucker_hits = hit_rate_at_k(tucker.reconstruct_entries, test, num_tags, k,
+                                sample=200, seed=2)
+    cp_hits = hit_rate_at_k(cp.reconstruct_entries, test, num_tags, k,
+                            sample=200, seed=2)
+    random_baseline = k / num_tags
+
+    print(f"\nTag recommendation hit-rate@{k} over {num_tags} candidate tags")
+    print(f"  Tucker (HOOI)   : {tucker_hits:.3f}")
+    print(f"  CP (ALS)        : {cp_hits:.3f}")
+    print(f"  random guessing : {random_baseline:.3f}")
+
+    # The paper's point: Tucker's per-mode ranks compress the tensor hard.
+    print(f"\nTucker model stores {tucker.core.size + sum(f.size for f in tucker.factors)} "
+          f"numbers for {train.nnz} training nonzeros "
+          f"({tucker.compression_ratio(train.nnz):.1f}x compression)")
+
+
+if __name__ == "__main__":
+    main()

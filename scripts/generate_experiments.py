@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Regenerate every table of the paper reproduction and write experiments_output.txt.
+
+This is the script behind EXPERIMENTS.md: it runs Tables I-V and the MET
+comparison at the configured scale and writes the rendered tables to stdout
+(tee it into a file to refresh the numbers quoted in the documentation).
+
+Usage:
+    python scripts/generate_experiments.py [--scale 2e-4] [--max-nodes 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentContext,
+    render_met_comparison,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    run_met_comparison,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=2e-4,
+                        help="dataset scale factor (fraction of the paper's nnz)")
+    parser.add_argument("--max-nodes", type=int, default=64,
+                        help="largest simulated rank count for Table II")
+    parser.add_argument("--table3-parts", type=int, default=16,
+                        help="rank count for Table III")
+    parser.add_argument("--table4-parts", type=int, default=8,
+                        help="rank count for Table IV")
+    args = parser.parse_args()
+
+    context = ExperimentContext(scale=args.scale, seed=0)
+    node_counts = [p for p in (1, 4, 16, 64, 256) if p <= args.max_nodes]
+
+    def section(title: str) -> None:
+        print()
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+
+    start = time.time()
+    section(f"Configuration: dataset scale = {args.scale:g}, seed = 0")
+
+    section("Table I")
+    print(render_table1(run_table1(context)))
+
+    section("Table II (strong scaling, scale-matched machine model)")
+    print(render_table2(run_table2(context, node_counts=node_counts)))
+
+    section(f"Table III (Flickr analog, {args.table3_parts} ranks)")
+    print(render_table3(run_table3(context, num_parts=args.table3_parts),
+                        num_parts=args.table3_parts))
+
+    section(f"Table IV (fine-hp, {args.table4_parts} ranks, simulated run)")
+    print(render_table4(run_table4(context, num_parts=args.table4_parts,
+                                   iterations=2)))
+
+    section("Table V (shared-memory thread scaling)")
+    print(render_table5(run_table5(context, measure=True,
+                                   measured_thread_counts=(1, 2, 4),
+                                   iterations=1)))
+
+    section("MET comparison (single core)")
+    print(render_met_comparison(run_met_comparison(
+        shape=(1000, 1000, 1000), nnz=100_000, ranks=10, iterations=5, seed=0)))
+
+    print()
+    print(f"Total generation time: {time.time() - start:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed in environments without the ``wheel`` package (where
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``) via::
+
+    python setup.py develop   # or: pip install -e . (when wheel is available)
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""HyperTensor-py: parallel Tucker decomposition of sparse tensors.
+
+A from-scratch Python reproduction of
+
+    Kaya & Uçar, "High Performance Parallel Algorithms for the Tucker
+    Decomposition of Sparse Tensors", ICPP 2016.
+
+The public API is re-exported from the subpackages:
+
+* :mod:`repro.core` — sparse tensors, nonzero-based TTMc, symbolic TTMc,
+  matrix-free TRSVD, sequential HOOI.
+* :mod:`repro.parallel` — shared-memory (thread) parallel HOOI, Algorithm 3.
+* :mod:`repro.partition` — hypergraph models of the TTMc/TRSVD tasks and a
+  multilevel partitioner (PaToH substitute), plus random/block partitioners.
+* :mod:`repro.simmpi` — simulated MPI: SPMD communicator, collectives,
+  communication accounting and the BG/Q-like machine model.
+* :mod:`repro.distributed` — coarse- and fine-grain distributed HOOI,
+  Algorithm 4, with the communication-avoiding distributed TRSVD.
+* :mod:`repro.baselines` — MET-style TTV-chain HOOI, CP-ALS, dense HOOI.
+* :mod:`repro.data` — synthetic tensors (including analogs of the paper's
+  four datasets) and FROSTT-style text IO.
+* :mod:`repro.experiments` — the per-table/figure reproduction harness.
+"""
+
+from repro.core import (
+    HOOIOptions,
+    HOOIResult,
+    SparseTensor,
+    TuckerTensor,
+    hooi,
+    tucker_fit,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SparseTensor",
+    "TuckerTensor",
+    "HOOIOptions",
+    "HOOIResult",
+    "hooi",
+    "tucker_fit",
+    "__version__",
+]

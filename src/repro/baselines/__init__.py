@@ -1,0 +1,15 @@
+"""Baseline algorithms the paper compares against or builds on."""
+
+from repro.baselines.met import met_hooi
+from repro.baselines.cp_als import CPResult, cp_als, mttkrp
+from repro.baselines.dense_hooi import dense_hooi, dense_hosvd, dense_st_hosvd
+
+__all__ = [
+    "met_hooi",
+    "CPResult",
+    "cp_als",
+    "mttkrp",
+    "dense_hooi",
+    "dense_hosvd",
+    "dense_st_hosvd",
+]

@@ -1,0 +1,92 @@
+"""Core sparse-tensor algebra and the sequential HOOI algorithm.
+
+This package contains the paper's primary computational kernels in their
+single-process form:
+
+* :class:`~repro.core.sparse_tensor.SparseTensor` — COO sparse tensors;
+* dense matricization / folding / n-mode products (correctness oracles);
+* the nonzero-based TTMc formulation with its symbolic preprocessing step;
+* matrix-free truncated SVD (TRSVD);
+* HOSVD/random initialization and the sequential HOOI driver;
+* the :class:`~repro.core.tucker.TuckerTensor` result container.
+"""
+
+from repro.core.sparse_tensor import SparseTensor
+from repro.core.dense import (
+    dense_ttm,
+    dense_ttm_chain,
+    dense_ttv,
+    fold,
+    tensor_norm,
+    unfold,
+)
+from repro.core.kron import batch_kron_rows, kron_row_length, kron_rows
+from repro.core.symbolic import (
+    ModeSymbolic,
+    SymbolicTTMc,
+    symbolic_all_modes,
+    symbolic_ttmc,
+)
+from repro.core.ttmc import (
+    default_block_size,
+    gather_ranges,
+    ttmc_contributions,
+    ttmc_flops,
+    ttmc_matricized,
+)
+from repro.core.ttm import SemiSparseTensor, sparse_ttm, sparse_ttm_chain, sparse_ttv
+from repro.core.trsvd import (
+    CountingOperator,
+    DenseOperator,
+    LinearOperator,
+    TRSVDResult,
+    lanczos_svd,
+    randomized_svd,
+    truncated_svd,
+)
+from repro.core.hosvd import hosvd_init, initialize_factors, random_init
+from repro.core.tucker import TuckerTensor, core_from_ttmc, tucker_fit
+from repro.core.hooi import HOOIOptions, HOOIResult, hooi, hooi_iteration_stats
+
+__all__ = [
+    "SparseTensor",
+    "dense_ttm",
+    "dense_ttm_chain",
+    "dense_ttv",
+    "fold",
+    "tensor_norm",
+    "unfold",
+    "batch_kron_rows",
+    "kron_row_length",
+    "kron_rows",
+    "ModeSymbolic",
+    "SymbolicTTMc",
+    "symbolic_all_modes",
+    "symbolic_ttmc",
+    "default_block_size",
+    "gather_ranges",
+    "ttmc_contributions",
+    "ttmc_flops",
+    "ttmc_matricized",
+    "SemiSparseTensor",
+    "sparse_ttm",
+    "sparse_ttm_chain",
+    "sparse_ttv",
+    "CountingOperator",
+    "DenseOperator",
+    "LinearOperator",
+    "TRSVDResult",
+    "lanczos_svd",
+    "randomized_svd",
+    "truncated_svd",
+    "hosvd_init",
+    "initialize_factors",
+    "random_init",
+    "TuckerTensor",
+    "core_from_ttmc",
+    "tucker_fit",
+    "HOOIOptions",
+    "HOOIResult",
+    "hooi",
+    "hooi_iteration_stats",
+]

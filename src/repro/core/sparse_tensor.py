@@ -1,0 +1,301 @@
+"""COO sparse tensor container.
+
+The paper operates on general N-mode sparse tensors stored as coordinate
+lists (one integer index per mode plus a value per nonzero).  This module
+provides that container together with the handful of structural operations
+every other subsystem needs: deduplication, mode matricization (as a SciPy
+CSR matrix), slicing by mode index, permutation of modes, conversion to and
+from dense arrays, and norm/fiber statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util.validation import check_axis, check_shape_vector
+
+__all__ = ["SparseTensor"]
+
+
+class SparseTensor:
+    """An N-mode sparse tensor in coordinate (COO) format.
+
+    Parameters
+    ----------
+    indices:
+        Integer array of shape ``(nnz, order)``; ``indices[t, n]`` is the
+        mode-``n`` index of the ``t``-th nonzero (0-based).
+    values:
+        Real array of shape ``(nnz,)``.
+    shape:
+        Mode sizes.  Indices must satisfy ``0 <= indices[:, n] < shape[n]``.
+    copy:
+        When ``True`` (default) the inputs are copied; when ``False`` the
+        arrays are used as-is (they are still validated).
+    sum_duplicates:
+        When ``True``, duplicate coordinates are merged by summing values.
+    """
+
+    __slots__ = ("indices", "values", "shape")
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        shape: Sequence[int],
+        *,
+        copy: bool = True,
+        sum_duplicates: bool = False,
+    ) -> None:
+        shape = check_shape_vector(shape)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if copy:
+            indices = indices.copy()
+            values = values.copy()
+        if indices.ndim != 2:
+            if indices.size == 0:
+                indices = indices.reshape(0, len(shape))
+            else:
+                raise ValueError("indices must be a 2-D array of shape (nnz, order)")
+        if indices.shape[1] != len(shape):
+            raise ValueError(
+                f"indices have {indices.shape[1]} columns but shape has "
+                f"{len(shape)} modes"
+            )
+        if values.ndim != 1 or values.shape[0] != indices.shape[0]:
+            raise ValueError("values must be 1-D with one entry per nonzero")
+        if indices.shape[0]:
+            mins = indices.min(axis=0)
+            maxs = indices.max(axis=0)
+            if (mins < 0).any():
+                raise ValueError("negative indices are not allowed")
+            if (maxs >= np.asarray(shape, dtype=np.int64)).any():
+                bad = int(np.argmax(maxs >= np.asarray(shape, dtype=np.int64)))
+                raise ValueError(
+                    f"index {int(maxs[bad])} out of range for mode {bad} of size "
+                    f"{shape[bad]}"
+                )
+        self.indices = indices
+        self.values = values
+        self.shape: Tuple[int, ...] = shape
+        if sum_duplicates:
+            self._sum_duplicates_inplace()
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, array: np.ndarray, *, tol: float = 0.0) -> "SparseTensor":
+        """Build a sparse tensor from a dense array, dropping entries with
+        ``abs(value) <= tol``."""
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim == 0:
+            raise ValueError("cannot build a SparseTensor from a scalar")
+        mask = np.abs(array) > tol
+        coords = np.argwhere(mask)
+        vals = array[mask]
+        return cls(coords, vals, array.shape, copy=False)
+
+    @classmethod
+    def empty(cls, shape: Sequence[int]) -> "SparseTensor":
+        """An all-zero tensor of the given shape."""
+        shape = check_shape_vector(shape)
+        return cls(
+            np.empty((0, len(shape)), dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            shape,
+            copy=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def order(self) -> int:
+        """Number of modes (the paper's ``N``)."""
+        return len(self.shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.values.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Total number of entries of the dense equivalent."""
+        return int(np.prod(self.shape, dtype=np.int64))
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.size if self.size else 0.0
+
+    def norm(self) -> float:
+        """Frobenius norm."""
+        return float(np.linalg.norm(self.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseTensor(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.3g})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Structural operations
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "SparseTensor":
+        return SparseTensor(self.indices, self.values, self.shape, copy=True)
+
+    def astype_shape(self, shape: Sequence[int]) -> "SparseTensor":
+        """Return the same nonzeros viewed in a (possibly larger) shape."""
+        return SparseTensor(self.indices, self.values, shape, copy=False)
+
+    def _sum_duplicates_inplace(self) -> None:
+        if self.nnz == 0:
+            return
+        keys = self.linear_indices()
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        uniq_mask = np.empty(keys_sorted.shape, dtype=bool)
+        uniq_mask[0] = True
+        np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=uniq_mask[1:])
+        group_ids = np.cumsum(uniq_mask) - 1
+        summed = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+        np.add.at(summed, group_ids, self.values[order])
+        first_pos = order[uniq_mask]
+        self.indices = self.indices[first_pos]
+        self.values = summed
+
+    def deduplicate(self) -> "SparseTensor":
+        """Return a tensor with duplicate coordinates merged (values summed)."""
+        out = self.copy()
+        out._sum_duplicates_inplace()
+        return out
+
+    def drop_zeros(self, tol: float = 0.0) -> "SparseTensor":
+        """Remove explicitly-stored entries with ``abs(value) <= tol``."""
+        mask = np.abs(self.values) > tol
+        return SparseTensor(
+            self.indices[mask], self.values[mask], self.shape, copy=False
+        )
+
+    def linear_indices(self) -> np.ndarray:
+        """Column-major (first mode fastest) linear index of every nonzero."""
+        strides = np.ones(self.order, dtype=np.int64)
+        for n in range(1, self.order):
+            strides[n] = strides[n - 1] * self.shape[n - 1]
+        return self.indices @ strides
+
+    def permute_modes(self, perm: Sequence[int]) -> "SparseTensor":
+        """Return the tensor with modes reordered according to ``perm``."""
+        perm = list(perm)
+        if sorted(perm) != list(range(self.order)):
+            raise ValueError(f"perm must be a permutation of 0..{self.order - 1}")
+        new_shape = tuple(self.shape[p] for p in perm)
+        return SparseTensor(self.indices[:, perm], self.values, new_shape, copy=False)
+
+    def scale(self, alpha: float) -> "SparseTensor":
+        """Return ``alpha * X``."""
+        return SparseTensor(self.indices, alpha * self.values, self.shape, copy=False)
+
+    def mode_slice(self, mode: int, index: int) -> "SparseTensor":
+        """Return the slice ``X[..., index, ...]`` (mode removed) as a sparse tensor."""
+        mode = check_axis(mode, self.order)
+        if not 0 <= index < self.shape[mode]:
+            raise ValueError(f"index {index} out of range for mode {mode}")
+        mask = self.indices[:, mode] == index
+        keep = [m for m in range(self.order) if m != mode]
+        new_shape = tuple(self.shape[m] for m in keep)
+        if not keep:
+            raise ValueError("cannot slice a 1-mode tensor down to order 0")
+        return SparseTensor(
+            self.indices[np.ix_(mask, keep)] if mask.any() else
+            np.empty((0, len(keep)), dtype=np.int64),
+            self.values[mask],
+            new_shape,
+            copy=False,
+        )
+
+    def select_nonzeros(self, positions: np.ndarray) -> "SparseTensor":
+        """Return a tensor containing only the nonzeros at ``positions``."""
+        positions = np.asarray(positions, dtype=np.int64)
+        return SparseTensor(
+            self.indices[positions], self.values[positions], self.shape, copy=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense array (only sensible for small tensors)."""
+        if self.size > 50_000_000:
+            raise MemoryError(
+                f"refusing to densify a tensor with {self.size} entries"
+            )
+        out = np.zeros(self.shape, dtype=np.float64)
+        if self.nnz:
+            np.add.at(out, tuple(self.indices.T), self.values)
+        return out
+
+    def matricize(self, mode: int) -> sp.csr_matrix:
+        """Mode-``n`` matricization ``X_(n)`` as a SciPy CSR matrix.
+
+        Follows the Kolda-Bader convention: rows are mode-``n`` indices and
+        the column index of nonzero ``(i_1, ..., i_N)`` is
+        ``sum_{k != n} i_k * prod_{m < k, m != n} I_m`` (earlier modes vary
+        fastest).
+        """
+        mode = check_axis(mode, self.order)
+        rows = self.indices[:, mode]
+        cols = np.zeros(self.nnz, dtype=np.int64)
+        stride = 1
+        for k in range(self.order):
+            if k == mode:
+                continue
+            cols += self.indices[:, k] * stride
+            stride *= self.shape[k]
+        ncols = int(stride)
+        mat = sp.coo_matrix(
+            (self.values, (rows, cols)), shape=(self.shape[mode], ncols)
+        )
+        return mat.tocsr()
+
+    # ------------------------------------------------------------------ #
+    # Statistics used by the partitioners and experiment harness
+    # ------------------------------------------------------------------ #
+    def mode_counts(self, mode: int) -> np.ndarray:
+        """Number of nonzeros in each mode-``n`` slice (length ``shape[mode]``)."""
+        mode = check_axis(mode, self.order)
+        return np.bincount(self.indices[:, mode], minlength=self.shape[mode])
+
+    def nonempty_rows(self, mode: int) -> np.ndarray:
+        """Sorted array of mode-``n`` indices that own at least one nonzero."""
+        mode = check_axis(mode, self.order)
+        return np.unique(self.indices[:, mode])
+
+    def allclose(self, other: "SparseTensor", *, rtol: float = 1e-10,
+                 atol: float = 1e-12) -> bool:
+        """Compare two sparse tensors entry-wise (after deduplication)."""
+        if self.shape != other.shape:
+            return False
+        a = self.deduplicate()
+        b = other.deduplicate()
+        ka, kb = a.linear_indices(), b.linear_indices()
+        pa, pb = np.argsort(ka), np.argsort(kb)
+        ka, kb = ka[pa], kb[pb]
+        va, vb = a.values[pa], b.values[pb]
+        # Entries present in only one tensor must be ~zero.
+        common_a = np.isin(ka, kb)
+        common_b = np.isin(kb, ka)
+        if not np.allclose(va[~common_a], 0.0, atol=atol):
+            return False
+        if not np.allclose(vb[~common_b], 0.0, atol=atol):
+            return False
+        return np.allclose(va[common_a], vb[common_b], rtol=rtol, atol=atol)

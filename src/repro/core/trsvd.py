@@ -1,0 +1,385 @@
+"""Matrix-free truncated SVD (the paper's TRSVD step).
+
+HOOI needs, for each mode ``n``, the leading ``R_n`` *left* singular vectors
+of the matricized TTMc result ``Y_(n)`` — a dense, usually tall-and-skinny
+matrix with up to millions of rows.  Following Section III-A.2 of the paper we
+never form the Gram matrix ``Y Yᵀ`` (its side would be ``I_n``) and we never
+compute a full SVD; instead we run an iterative method whose only access to
+the matrix is through matrix-vector (``MxV``) and transposed matrix-vector
+(``MTxV``) products.  That operator interface is exactly what the distributed
+algorithm hooks into: the fine-grain variant keeps ``Y_(n)`` in sum-distributed
+form and implements the two products with communication (see
+:mod:`repro.distributed.dist_trsvd`).
+
+Two solvers are provided:
+
+* :func:`lanczos_svd` — Golub-Kahan Lanczos bidiagonalization with full
+  reorthogonalization and implicit restarting; the default, mirroring the
+  Krylov solvers SLEPc provides.
+* :func:`randomized_svd` — a randomized range finder with power iterations,
+  useful as a cross-check and for the ablation benchmarks.
+
+Both report the number of operator applications so experiments can account
+for per-iteration communication exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.util.linalg import gram_leading_eigvecs
+
+__all__ = [
+    "LinearOperator",
+    "DenseOperator",
+    "CountingOperator",
+    "TRSVDResult",
+    "lanczos_svd",
+    "randomized_svd",
+    "truncated_svd",
+]
+
+
+class LinearOperator:
+    """Minimal matrix-free operator: a shape plus ``matvec``/``rmatvec``.
+
+    Subclasses implement ``matvec(x) -> A @ x`` (length ``shape[0]``) and
+    ``rmatvec(y) -> A.T @ y`` (length ``shape[1]``).
+    """
+
+    shape: Tuple[int, int]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        """Apply the operator to each column of ``block`` (default: loop)."""
+        block = np.asarray(block, dtype=np.float64)
+        return np.column_stack([self.matvec(block[:, j]) for j in range(block.shape[1])])
+
+    def rmatmat(self, block: np.ndarray) -> np.ndarray:
+        block = np.asarray(block, dtype=np.float64)
+        return np.column_stack([self.rmatvec(block[:, j]) for j in range(block.shape[1])])
+
+
+class DenseOperator(LinearOperator):
+    """Wrap a dense ndarray as a :class:`LinearOperator` (BLAS2 products)."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = np.asarray(matrix, dtype=np.float64)
+        if self.matrix.ndim != 2:
+            raise ValueError("DenseOperator expects a 2-D array")
+        self.shape = self.matrix.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix @ x
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return self.matrix.T @ y
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        return self.matrix @ block
+
+    def rmatmat(self, block: np.ndarray) -> np.ndarray:
+        return self.matrix.T @ block
+
+
+class CountingOperator(LinearOperator):
+    """Decorator counting operator applications (MxV / MTxV)."""
+
+    def __init__(self, inner: LinearOperator) -> None:
+        self.inner = inner
+        self.shape = inner.shape
+        self.matvec_count = 0
+        self.rmatvec_count = 0
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        self.matvec_count += 1
+        return self.inner.matvec(x)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        self.rmatvec_count += 1
+        return self.inner.rmatvec(y)
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        self.matvec_count += block.shape[1]
+        return self.inner.matmat(block)
+
+    def rmatmat(self, block: np.ndarray) -> np.ndarray:
+        self.rmatvec_count += block.shape[1]
+        return self.inner.rmatmat(block)
+
+
+@dataclass
+class TRSVDResult:
+    """Output of a truncated SVD solve."""
+
+    left: np.ndarray          # (m, k) leading left singular vectors
+    singular_values: np.ndarray  # (k,)
+    right: Optional[np.ndarray]  # (n, k) or None if not requested
+    iterations: int           # outer iterations (restarts for Lanczos)
+    matvecs: int              # number of MxV applications
+    rmatvecs: int             # number of MTxV applications
+    converged: bool
+
+    @property
+    def rank(self) -> int:
+        return int(self.singular_values.shape[0])
+
+
+def _as_operator(matrix: Union[np.ndarray, LinearOperator]) -> LinearOperator:
+    if isinstance(matrix, LinearOperator):
+        return matrix
+    return DenseOperator(np.asarray(matrix, dtype=np.float64))
+
+
+def lanczos_svd(
+    matrix: Union[np.ndarray, LinearOperator],
+    rank: int,
+    *,
+    tol: float = 1e-8,
+    max_restarts: int = 20,
+    subspace: Optional[int] = None,
+    seed: Optional[int] = 0,
+    compute_right: bool = True,
+) -> TRSVDResult:
+    """Leading ``rank`` singular triplets via Golub-Kahan Lanczos bidiagonalization.
+
+    The bidiagonalization is run with full reorthogonalization up to a
+    subspace of ``subspace`` vectors (default ``max(2 * rank + 4, rank + 8)``,
+    capped at ``min(op.shape)``); if the top-``rank`` triplets have not
+    converged the factorization is (thick-)restarted from the current Ritz
+    vectors, up to ``max_restarts`` times.  Convergence of triplet ``i`` is
+    declared when its residual bound ``beta * |last Ritz component|`` falls
+    below ``tol * sigma_max``.
+    """
+    op = _as_operator(matrix)
+    counter = op if isinstance(op, CountingOperator) else CountingOperator(op)
+    m, n = counter.shape
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    rank = min(rank, m, n)
+    if subspace is None:
+        subspace = max(2 * rank + 4, rank + 8)
+    subspace = int(min(max(subspace, rank + 1), min(m, n)))
+
+    rng = np.random.default_rng(seed)
+    # Right starting vector.
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+
+    V = np.zeros((n, subspace + 1))
+    U = np.zeros((m, subspace))
+    alphas = np.zeros(subspace)
+    betas = np.zeros(subspace)
+
+    total_restarts = 0
+    converged = False
+    left = np.zeros((m, rank))
+    right = np.zeros((n, rank))
+    sigma = np.zeros(rank)
+
+    V[:, 0] = v
+    start = 0          # number of locked/restart basis vectors already in place
+    beta_prev = 0.0
+    u_prev = np.zeros(m)
+
+    for restart in range(max_restarts):
+        total_restarts = restart + 1
+        j = start
+        while j < subspace:
+            u = counter.matvec(V[:, j]) - beta_prev * u_prev
+            # Full reorthogonalization against previous left vectors.
+            if j > 0:
+                u -= U[:, :j] @ (U[:, :j].T @ u)
+            alpha = np.linalg.norm(u)
+            if alpha < 1e-14:
+                u = rng.standard_normal(m)
+                u -= U[:, :j] @ (U[:, :j].T @ u)
+                alpha_norm = np.linalg.norm(u)
+                u = u / alpha_norm if alpha_norm > 0 else u
+                alpha = 0.0
+            else:
+                u /= alpha
+            U[:, j] = u
+            alphas[j] = alpha
+
+            w = counter.rmatvec(u) - alpha * V[:, j]
+            w -= V[:, : j + 1] @ (V[:, : j + 1].T @ w)
+            beta = np.linalg.norm(w)
+            if beta < 1e-14:
+                w = rng.standard_normal(n)
+                w -= V[:, : j + 1] @ (V[:, : j + 1].T @ w)
+                beta_norm = np.linalg.norm(w)
+                w = w / beta_norm if beta_norm > 0 else w
+                beta = 0.0
+            else:
+                w /= beta
+            V[:, j + 1] = w
+            betas[j] = beta
+            beta_prev = beta
+            u_prev = u
+            j += 1
+
+        # Build the (subspace x subspace) projected matrix B = Uᵀ A V.  The
+        # fresh part (columns `start`..) is upper bidiagonal with the recurrence
+        # coefficients; after a thick restart the first `start` columns hold
+        # the locked Ritz values and couple to the first new column through
+        # the saved residual coefficients (Baglama-Reichel style restart).
+        B = np.zeros((subspace, subspace))
+        if start > 0:
+            B[:start, :start] = np.diag(locked_sigma)
+            B[:start, start] = restart_coupling
+        for i in range(start, subspace):
+            B[i, i] = alphas[i]
+            if i + 1 < subspace:
+                B[i, i + 1] = betas[i]
+
+        P, s, Qt = np.linalg.svd(B)
+        k = rank
+        sigma = s[:k]
+        # Residual bound for each Ritz triplet: beta_last * |P[last, i]|.
+        beta_last = betas[subspace - 1]
+        residuals = np.abs(beta_last * P[subspace - 1, :k])
+        threshold = tol * max(s[0], 1e-300)
+        left = U[:, :subspace] @ P[:, :k]
+        right = V[:, :subspace] @ Qt.T[:, :k]
+        # Stop on convergence, on the restart budget, or when the subspace
+        # already spans the whole problem (rank == subspace), in which case a
+        # thick restart has nothing left to add.
+        if (
+            np.all(residuals <= threshold)
+            or restart == max_restarts - 1
+            or rank >= subspace
+        ):
+            converged = bool(np.all(residuals <= threshold)) or rank >= subspace
+            break
+
+        # Thick restart: keep the top `rank` Ritz vectors plus the residual
+        # direction V[:, subspace] and continue expanding.
+        keep = rank
+        locked_sigma = s[:keep].copy()
+        restart_coupling = beta_last * P[subspace - 1, :keep].copy()
+        U[:, :keep] = left[:, :keep]
+        V[:, :keep] = right[:, :keep]
+        V[:, keep] = V[:, subspace]
+        start = keep
+        beta_prev = 0.0
+        u_prev = np.zeros(m)
+
+    return TRSVDResult(
+        left=np.ascontiguousarray(left[:, :rank]),
+        singular_values=np.ascontiguousarray(sigma[:rank]),
+        right=np.ascontiguousarray(right[:, :rank]) if compute_right else None,
+        iterations=total_restarts,
+        matvecs=counter.matvec_count,
+        rmatvecs=counter.rmatvec_count,
+        converged=converged,
+    )
+
+
+def randomized_svd(
+    matrix: Union[np.ndarray, LinearOperator],
+    rank: int,
+    *,
+    oversample: int = 8,
+    power_iterations: int = 2,
+    seed: Optional[int] = 0,
+    compute_right: bool = True,
+) -> TRSVDResult:
+    """Randomized truncated SVD (Halko-Martinsson-Tropp range finder).
+
+    Uses ``rank + oversample`` random probes and ``power_iterations`` rounds of
+    subspace (power) iteration with re-orthonormalization, then a dense SVD of
+    the small projected matrix.  All accesses go through ``matmat``/``rmatmat``
+    so the same distributed operators work here too.
+    """
+    op = _as_operator(matrix)
+    counter = op if isinstance(op, CountingOperator) else CountingOperator(op)
+    m, n = counter.shape
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    rank = min(rank, m, n)
+    probes = min(rank + int(oversample), n)
+
+    rng = np.random.default_rng(seed)
+    omega = rng.standard_normal((n, probes))
+    sample = counter.matmat(omega)
+    q, _ = np.linalg.qr(sample)
+    for _ in range(int(power_iterations)):
+        z = counter.rmatmat(q)
+        z, _ = np.linalg.qr(z)
+        sample = counter.matmat(z)
+        q, _ = np.linalg.qr(sample)
+    # Project: B = Qᵀ A  (n columns), computed as (Aᵀ Q)ᵀ.
+    b = counter.rmatmat(q).T
+    ub, s, vt = np.linalg.svd(b, full_matrices=False)
+    left = q @ ub[:, :rank]
+    return TRSVDResult(
+        left=np.ascontiguousarray(left),
+        singular_values=np.ascontiguousarray(s[:rank]),
+        right=np.ascontiguousarray(vt[:rank].T) if compute_right else None,
+        iterations=int(power_iterations) + 1,
+        matvecs=counter.matvec_count,
+        rmatvecs=counter.rmatvec_count,
+        converged=True,
+    )
+
+
+def truncated_svd(
+    matrix: Union[np.ndarray, LinearOperator],
+    rank: int,
+    *,
+    method: str = "lanczos",
+    **kwargs,
+) -> TRSVDResult:
+    """Dispatch to a truncated-SVD backend.
+
+    ``method`` is one of ``"lanczos"`` (default), ``"randomized"``, ``"dense"``
+    (full LAPACK SVD — only for small matrices / tests), or ``"gram"`` (the
+    eigendecomposition of ``Y Yᵀ`` that dense-Tucker codes use and the paper
+    argues against for sparse data; kept as a baseline).
+    """
+    if method == "lanczos":
+        return lanczos_svd(matrix, rank, **kwargs)
+    if method == "randomized":
+        return randomized_svd(matrix, rank, **kwargs)
+    if method == "dense":
+        dense = matrix.matrix if isinstance(matrix, DenseOperator) else np.asarray(matrix)
+        if isinstance(matrix, LinearOperator) and not isinstance(matrix, DenseOperator):
+            raise TypeError("method='dense' needs an explicit matrix")
+        u, s, vt = np.linalg.svd(dense, full_matrices=False)
+        rank = min(int(rank), s.shape[0])
+        return TRSVDResult(
+            left=np.ascontiguousarray(u[:, :rank]),
+            singular_values=s[:rank].copy(),
+            right=np.ascontiguousarray(vt[:rank].T),
+            iterations=1,
+            matvecs=0,
+            rmatvecs=0,
+            converged=True,
+        )
+    if method == "gram":
+        dense = matrix.matrix if isinstance(matrix, DenseOperator) else np.asarray(matrix)
+        if isinstance(matrix, LinearOperator) and not isinstance(matrix, DenseOperator):
+            raise TypeError("method='gram' needs an explicit matrix")
+        left = gram_leading_eigvecs(dense, rank)
+        sigma = np.linalg.norm(dense.T @ left, axis=0)
+        return TRSVDResult(
+            left=left,
+            singular_values=sigma,
+            right=None,
+            iterations=1,
+            matvecs=0,
+            rmatvecs=0,
+            converged=True,
+        )
+    raise ValueError(f"unknown TRSVD method {method!r}")

@@ -1,0 +1,251 @@
+"""Nonzero-based TTMc (tensor-times-matrix chain) kernels.
+
+This implements the paper's equation (4) / Algorithm 2: for the target mode
+``n``, every nonzero ``x[i_1, ..., i_N]`` contributes
+
+    ``x * kron(U_t[i_t, :] for t != n)``
+
+to row ``i_n`` of the matricized result ``Y_(n)`` (an ``I_n x prod_{t != n} R_t``
+dense matrix).  The kernels here are the sequential building blocks; the
+shared-memory and distributed layers parallelize *over rows* of ``Y_(n)``
+using the symbolic structure from :mod:`repro.core.symbolic`.
+
+Performance notes (per the HPC-Python guides): there is no per-nonzero Python
+loop.  Nonzeros are processed in blocks; factor rows are gathered with fancy
+indexing, combined with :func:`repro.core.kron.batch_kron_rows`, scaled by the
+values and accumulated with a segment-sum (``np.add.reduceat`` over the
+row-grouped order produced by the symbolic step), so the inner work is all
+vectorized NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kron import batch_kron_rows, kron_row_length
+from repro.core.sparse_tensor import SparseTensor
+from repro.core.symbolic import ModeSymbolic, symbolic_ttmc
+from repro.util.validation import check_axis, check_same_order
+
+__all__ = [
+    "ttmc_matricized",
+    "ttmc_contributions",
+    "ttmc_flops",
+    "default_block_size",
+    "gather_ranges",
+]
+
+#: Upper bound on nonzeros processed per vectorized block.
+_DEFAULT_BLOCK_NNZ = 65536
+
+
+def default_block_size(kron_width: int, *, budget_bytes: int = 64 << 20) -> int:
+    """Pick a nonzero block size so the Kronecker buffer stays under ``budget_bytes``."""
+    kron_width = max(int(kron_width), 1)
+    block = budget_bytes // (8 * kron_width)
+    return int(min(_DEFAULT_BLOCK_NNZ, max(1024, block)))
+
+
+def gather_ranges(source: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``source[starts[r]:starts[r]+counts[r]]`` for all ``r`` (vectorized)."""
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=source.dtype)
+    ends = np.cumsum(counts)
+    begins = ends - counts
+    offsets = np.repeat(starts - begins, counts)
+    return source[np.arange(total, dtype=np.int64) + offsets]
+
+
+def _factor_widths(
+    factors: Sequence[Optional[np.ndarray]], shape: Sequence[int], mode: int
+) -> List[int]:
+    widths = []
+    for t, factor in enumerate(factors):
+        if t == mode:
+            continue
+        if factor is None:
+            raise ValueError(f"factor for mode {t} is required but is None")
+        factor = np.asarray(factor)
+        if factor.ndim != 2:
+            raise ValueError(f"factor for mode {t} must be 2-D")
+        if factor.shape[0] != shape[t]:
+            raise ValueError(
+                f"factor for mode {t} has {factor.shape[0]} rows but the tensor "
+                f"mode has size {shape[t]}"
+            )
+        widths.append(factor.shape[1])
+    return widths
+
+
+def ttmc_flops(tensor_nnz: int, ranks: Sequence[int], mode: int) -> int:
+    """Rough flop count of a mode-``n`` nonzero-based TTMc.
+
+    Each nonzero builds the Kronecker product of ``N - 1`` factor rows
+    incrementally and then performs one scaled accumulation of length
+    ``prod_{t != n} R_t``.  This is the work measure ``W_TTMc`` the paper
+    reports per process in Table III (up to a constant factor).
+    """
+    width = 1
+    flops = 0
+    for t, r in enumerate(ranks):
+        if t == mode:
+            continue
+        width *= int(r)
+        flops += width
+    return int(tensor_nnz) * (flops + 2 * width)
+
+
+def ttmc_contributions(
+    tensor: SparseTensor,
+    factors: Sequence[Optional[np.ndarray]],
+    mode: int,
+    nonzero_positions: np.ndarray,
+    *,
+    block_nnz: Optional[int] = None,
+) -> np.ndarray:
+    """Per-nonzero TTMc contributions ``x * kron(U_t[i_t, :], t != n)``.
+
+    Returns an array of shape ``(len(nonzero_positions), prod R_t)``.  This is
+    the fine-grain (z-task) primitive; callers that want the assembled rows of
+    ``Y_(n)`` should use :func:`ttmc_matricized` instead.
+    """
+    mode = check_axis(mode, tensor.order)
+    check_same_order(tensor.order, factors, "factors")
+    widths = _factor_widths(factors, tensor.shape, mode)
+    width = kron_row_length(widths)
+    positions = np.asarray(nonzero_positions, dtype=np.int64)
+    out = np.empty((positions.shape[0], width), dtype=np.float64)
+    if block_nnz is None:
+        block_nnz = default_block_size(width)
+    factor_arrays = [
+        None if t == mode else np.asarray(factors[t], dtype=np.float64)
+        for t in range(tensor.order)
+    ]
+    for start in range(0, positions.shape[0], block_nnz):
+        chunk = positions[start:start + block_nnz]
+        idx = tensor.indices[chunk]
+        blocks = [
+            factor_arrays[t][idx[:, t]]
+            for t in range(tensor.order)
+            if t != mode
+        ]
+        kron = batch_kron_rows(blocks)
+        kron *= tensor.values[chunk][:, None]
+        out[start:start + chunk.shape[0]] = kron
+    return out
+
+
+def _selected_positions(
+    symbolic: ModeSymbolic, rows: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Nonzero positions (grouped by row) and their target rows for a row subset."""
+    if rows is None:
+        counts = symbolic.row_sizes()
+        positions = symbolic.perm
+        row_of_nnz = np.repeat(symbolic.rows, counts)
+        return positions, row_of_nnz
+    rows = np.asarray(rows, dtype=np.int64)
+    sel = np.flatnonzero(np.isin(symbolic.rows, rows))
+    counts = symbolic.rowptr[sel + 1] - symbolic.rowptr[sel]
+    positions = gather_ranges(symbolic.perm, symbolic.rowptr[sel], counts)
+    row_of_nnz = np.repeat(symbolic.rows[sel], counts)
+    return positions, row_of_nnz
+
+
+def ttmc_matricized(
+    tensor: SparseTensor,
+    factors: Sequence[Optional[np.ndarray]],
+    mode: int,
+    *,
+    symbolic: Optional[ModeSymbolic] = None,
+    rows: Optional[np.ndarray] = None,
+    block_nnz: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Mode-``n`` matricized TTMc result ``Y_(n) = (X ×_{-n} Uᵀ)_(n)``.
+
+    Parameters
+    ----------
+    tensor:
+        The sparse input tensor ``X`` (or a rank-local portion of it).
+    factors:
+        One factor matrix per mode (``I_t × R_t``); the entry for ``mode`` is
+        ignored and may be ``None``.
+    mode:
+        The mode that is *not* multiplied (the rows of the result).
+    symbolic:
+        Pre-built update lists for ``mode`` (built on the fly when omitted).
+        Reusing this across HOOI iterations is the point of the symbolic step.
+    rows:
+        Optional subset of mode-``n`` indices to compute (the distributed
+        coarse-grain algorithm restricts computation to its owned rows
+        ``I_n^k``).  Other rows of the output stay zero.
+    block_nnz:
+        Nonzeros per vectorized block (defaults to a size bounding the
+        temporary Kronecker buffer to ~64 MB).
+    out:
+        Optional preallocated ``(I_n, prod R_t)`` output buffer (zeroed here).
+
+    Returns
+    -------
+    ndarray of shape ``(I_n, prod_{t != n} R_t)``.
+    """
+    mode = check_axis(mode, tensor.order)
+    check_same_order(tensor.order, factors, "factors")
+    widths = _factor_widths(factors, tensor.shape, mode)
+    width = kron_row_length(widths)
+    n_rows = tensor.shape[mode]
+
+    if out is None:
+        out = np.zeros((n_rows, width), dtype=np.float64)
+    else:
+        if out.shape != (n_rows, width):
+            raise ValueError(f"out has shape {out.shape}, expected {(n_rows, width)}")
+        out[:] = 0.0
+
+    if tensor.nnz == 0:
+        return out
+
+    if symbolic is None:
+        symbolic = symbolic_ttmc(tensor, mode)
+    elif symbolic.mode != mode or symbolic.nnz != tensor.nnz:
+        raise ValueError("symbolic data does not match the tensor/mode")
+
+    positions, row_of_nnz = _selected_positions(symbolic, rows)
+    if positions.shape[0] == 0:
+        return out
+
+    if block_nnz is None:
+        block_nnz = default_block_size(width)
+
+    factor_arrays = [
+        None if t == mode else np.asarray(factors[t], dtype=np.float64)
+        for t in range(tensor.order)
+    ]
+
+    for start in range(0, positions.shape[0], block_nnz):
+        chunk = positions[start:start + block_nnz]
+        chunk_rows = row_of_nnz[start:start + chunk.shape[0]]
+        idx = tensor.indices[chunk]
+        blocks = [
+            factor_arrays[t][idx[:, t]]
+            for t in range(tensor.order)
+            if t != mode
+        ]
+        kron = batch_kron_rows(blocks)
+        kron *= tensor.values[chunk][:, None]
+        # chunk_rows is non-decreasing (positions are grouped by row), so the
+        # accumulation is a segment-sum: reduce each run of equal rows, then
+        # add the partial sums into the output (a row split across blocks is
+        # handled by the ``+=``).
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], chunk_rows[1:] != chunk_rows[:-1]))
+        )
+        sums = np.add.reduceat(kron, boundaries, axis=0)
+        out[chunk_rows[boundaries]] += sums
+    return out

@@ -1,0 +1,29 @@
+"""Synthetic datasets (including analogs of the paper's four tensors) and IO."""
+
+from repro.data.synthetic import (
+    power_law_sparse_tensor,
+    random_sparse_tensor,
+    zipf_indices,
+)
+from repro.data.lowrank import planted_lowrank_tensor, random_tucker_tensor
+from repro.data.datasets import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    dataset_table,
+    make_dataset,
+)
+from repro.data.io import read_tns, write_tns
+
+__all__ = [
+    "power_law_sparse_tensor",
+    "random_sparse_tensor",
+    "zipf_indices",
+    "planted_lowrank_tensor",
+    "random_tucker_tensor",
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "dataset_table",
+    "make_dataset",
+    "read_tns",
+    "write_tns",
+]

@@ -1,0 +1,87 @@
+"""Text IO for sparse tensors (FROSTT ``.tns`` format).
+
+The de-facto interchange format for sparse tensors (used by FROSTT, SPLATT,
+HyperTensor and the Tensor Toolbox) is a whitespace-separated text file with
+one nonzero per line: ``i_1 i_2 ... i_N value`` with 1-based indices, plus
+optional ``#`` comment lines.  Readers accept an explicit shape or infer it
+from the maximum index per mode.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.sparse_tensor import SparseTensor
+
+__all__ = ["write_tns", "read_tns"]
+
+PathLike = Union[str, Path]
+
+
+def write_tns(tensor: SparseTensor, path: PathLike, *, header: bool = True) -> None:
+    """Write a sparse tensor as a ``.tns`` text file (1-based indices)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            shape_str = " ".join(str(s) for s in tensor.shape)
+            handle.write(f"# shape: {shape_str}\n")
+            handle.write(f"# nnz: {tensor.nnz}\n")
+        for row, value in zip(tensor.indices, tensor.values):
+            coords = " ".join(str(int(i) + 1) for i in row)
+            handle.write(f"{coords} {float(value):.17g}\n")
+
+
+def read_tns(
+    path: PathLike,
+    *,
+    shape: Optional[Sequence[int]] = None,
+    sum_duplicates: bool = True,
+) -> SparseTensor:
+    """Read a ``.tns`` text file.
+
+    If ``shape`` is not given it is taken from a ``# shape:`` header when
+    present, otherwise inferred from the maximum index of each mode.
+    """
+    path = Path(path)
+    header_shape: Optional[list] = None
+    indices = []
+    values = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.lower().startswith("shape:"):
+                    header_shape = [int(tok) for tok in body[6:].split()]
+                continue
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise ValueError(f"malformed .tns line: {line!r}")
+            indices.append([int(tok) - 1 for tok in tokens[:-1]])
+            values.append(float(tokens[-1]))
+    if not indices:
+        if shape is None and header_shape is None:
+            raise ValueError("empty .tns file with no shape information")
+        final_shape = tuple(shape) if shape is not None else tuple(header_shape)
+        return SparseTensor.empty(final_shape)
+    index_array = np.asarray(indices, dtype=np.int64)
+    value_array = np.asarray(values, dtype=np.float64)
+    orders = {index_array.shape[1]}
+    if len(orders) != 1:
+        raise ValueError("inconsistent number of indices per line")
+    if shape is not None:
+        final_shape = tuple(int(s) for s in shape)
+    elif header_shape is not None:
+        final_shape = tuple(header_shape)
+    else:
+        final_shape = tuple(int(m) + 1 for m in index_array.max(axis=0))
+    return SparseTensor(
+        index_array, value_array, final_shape, copy=False,
+        sum_duplicates=sum_duplicates,
+    )

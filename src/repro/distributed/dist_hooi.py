@@ -1,0 +1,313 @@
+"""Distributed-memory parallel HOOI (Algorithm 4 of the paper).
+
+The same SPMD program implements both task grains; the only differences are
+the rows each rank's TTMc produces (owned rows for coarse grain, the local
+``J_n`` for fine grain — line 4 vs line 6 of Algorithm 4) and whether the
+TRSVD has to fold partial results (fine grain only).  Per iteration and mode:
+
+1. local numeric TTMc over the rank's update lists (lines 9-12);
+2. distributed matrix-free TRSVD of the (row- or sum-distributed) ``Y_(n)``
+   (line 13);
+3. point-to-point exchange of the updated ``U_n`` rows (line 14);
+
+and once per iteration the core tensor is formed from the last mode's TTMc
+with a local GEMM followed by an all-reduce (lines 15-16), from which every
+rank evaluates the fit.
+
+The driver :func:`distributed_hooi` builds the plans, runs the SPMD program on
+the simulated MPI world, checks that all ranks agree, and packages the
+numerical results together with the per-rank work / communication / simulated
+time statistics that the paper's Tables II-IV report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dense import fold
+from repro.core.hooi import HOOIOptions
+from repro.core.hosvd import initialize_factors
+from repro.core.sparse_tensor import SparseTensor
+from repro.core.tucker import TuckerTensor
+from repro.distributed.dist_trsvd import (
+    DistributedTTMcMatrix,
+    distributed_lanczos_svd,
+)
+from repro.distributed.factor_exchange import exchange_factor_rows
+from repro.distributed.plan import GlobalPlan, RankPlan, build_plans
+from repro.parallel.shared_ttmc import ttmc_row_block
+from repro.parallel.work import core_phase_work, ttmc_phase_work
+from repro.partition.strategies import TensorPartition
+from repro.simmpi.communicator import Communicator
+from repro.simmpi.launcher import run_spmd
+from repro.simmpi.machine import BGQ_MACHINE, MachineModel
+from repro.util.validation import check_rank_vector
+
+__all__ = ["RankRunResult", "DistributedHOOIResult", "distributed_hooi", "hooi_rank_program"]
+
+
+@dataclass
+class RankRunResult:
+    """Per-rank outcome of the SPMD HOOI program."""
+
+    rank: int
+    fit_history: List[float]
+    core: np.ndarray
+    owned_factor_rows: List[Tuple[np.ndarray, np.ndarray]]   # (rows, values) per mode
+    iteration_sim_times: List[float]          # simulated seconds per iteration
+    iteration_wall_times: List[float]         # measured seconds per iteration
+    phase_sim_times: Dict[str, float]         # simulated breakdown (ttmc/trsvd/...)
+    per_mode_comm_bytes: List[int]            # cumulative traffic charged per mode
+    ttmc_work: List[int]                      # W_TTMc per mode (contributions)
+    trsvd_rows: List[int]                     # W_TRSVD per mode (rows multiplied)
+    trsvd_iterations: List[int]               # restart counts observed
+
+
+@dataclass
+class DistributedHOOIResult:
+    """Driver-level result: assembled decomposition + per-rank statistics."""
+
+    decomposition: TuckerTensor
+    fit_history: List[float]
+    iterations: int
+    converged: bool
+    rank_results: List[RankRunResult]
+    strategy: str
+    num_ranks: int
+    simulated_time_per_iteration: float
+    wall_time_per_iteration: float
+
+    @property
+    def fit(self) -> float:
+        return self.fit_history[-1] if self.fit_history else float("nan")
+
+    def comm_volume_elements(self) -> np.ndarray:
+        """Per-rank total communication volume in doubles (all iterations)."""
+        return np.array(
+            [sum(r.per_mode_comm_bytes) / 8.0 for r in self.rank_results]
+        )
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Average simulated share of TTMc / TRSVD / core time (Table IV)."""
+        totals: Dict[str, float] = {}
+        for r in self.rank_results:
+            for key, value in r.phase_sim_times.items():
+                totals[key] = totals.get(key, 0.0) + value
+        grand = sum(totals.values())
+        if grand <= 0:
+            return {k: 0.0 for k in totals}
+        return {k: v / grand for k, v in totals.items()}
+
+
+def hooi_rank_program(
+    comm: Communicator,
+    plans: List[RankPlan],
+    global_plan: GlobalPlan,
+    initial_factors: List[np.ndarray],
+    options: HOOIOptions,
+) -> RankRunResult:
+    """The SPMD body executed by every simulated rank (Algorithm 4)."""
+    import time as _time
+
+    plan = plans[comm.rank]
+    order = plan.order
+    ranks = plan.ranks_requested
+    machine = comm.machine
+    factors = [np.array(f, dtype=np.float64, copy=True) for f in initial_factors]
+    norm_x = global_plan.norm_x
+
+    # Positions of the compute rows inside the local symbolic row lists
+    # (fine grain: every local row; coarse grain: the owned slices).
+    compute_positions: List[np.ndarray] = []
+    for mode in range(order):
+        sym_rows = plan.symbolic[mode].rows
+        targets = plan.modes[mode].compute_rows
+        if targets.size and sym_rows.size:
+            pos = np.flatnonzero(np.isin(sym_rows, targets))
+        else:
+            pos = np.empty(0, dtype=np.int64)
+        compute_positions.append(pos.astype(np.int64))
+
+    fit_history: List[float] = []
+    iteration_sim_times: List[float] = []
+    iteration_wall_times: List[float] = []
+    phase_sim: Dict[str, float] = {"ttmc": 0.0, "trsvd": 0.0, "core": 0.0}
+    per_mode_comm = [0] * order
+    trsvd_iteration_counts: List[int] = []
+    core = np.zeros(ranks, dtype=np.float64)
+    converged = False
+
+    for iteration in range(options.max_iterations):
+        iter_clock_start = comm.clock.now
+        iter_wall_start = _time.perf_counter()
+        last_block: Optional[np.ndarray] = None
+        last_rows: Optional[np.ndarray] = None
+        for mode in range(order):
+            mode_plan = plan.modes[mode]
+            comm_before = comm.stats.total_bytes
+            # ---- local numeric TTMc (lines 9-12) -------------------------
+            clock_before = comm.clock.now
+            positions = compute_positions[mode]
+            block = ttmc_row_block(
+                plan.local_tensor,
+                factors,
+                mode,
+                plan.symbolic[mode],
+                positions,
+                block_nnz=options.block_nnz,
+            )
+            block_rows = plan.symbolic[mode].rows[positions]
+            comm.advance_compute(
+                machine.compute_time(
+                    ttmc_phase_work(plan.ttmc_nonzeros[mode], order, ranks, mode)
+                ),
+                category="ttmc",
+            )
+            phase_sim["ttmc"] += comm.clock.now - clock_before
+
+            # ---- distributed TRSVD (line 13) -----------------------------
+            clock_before = comm.clock.now
+            op = DistributedTTMcMatrix(comm, mode_plan, block_rows, block)
+            trsvd = distributed_lanczos_svd(
+                op,
+                ranks[mode],
+                tol=options.trsvd_tol,
+                seed=options.seed if options.seed is not None else 0,
+            )
+            trsvd_iteration_counts.append(trsvd.iterations)
+
+            # ---- refresh U_n and exchange rows (line 14) -----------------
+            # The solver may return fewer columns than requested when the
+            # matrix has fewer non-empty rows than the rank (tiny tensors);
+            # the missing columns stay zero.
+            new_factor = np.zeros((plan.shape[mode], ranks[mode]), dtype=np.float64)
+            got = trsvd.left_owned.shape[1]
+            new_factor[mode_plan.owned_nonempty_rows, :got] = trsvd.left_owned
+            exchange_factor_rows(comm, mode_plan.factor_exchange, new_factor)
+            factors[mode] = new_factor
+            phase_sim["trsvd"] += comm.clock.now - clock_before
+
+            per_mode_comm[mode] += comm.stats.total_bytes - comm_before
+            if mode == order - 1:
+                last_block = block
+                last_rows = block_rows
+
+        # ---- core tensor (lines 15-16) -----------------------------------
+        clock_before = comm.clock.now
+        if last_rows is not None and last_rows.size:
+            core_local = factors[-1][last_rows].T @ last_block
+        else:
+            width = int(np.prod([ranks[t] for t in range(order - 1)]))
+            core_local = np.zeros((ranks[-1], width), dtype=np.float64)
+        comm.advance_compute(
+            machine.compute_time(
+                core_phase_work(int(last_rows.size) if last_rows is not None else 0, ranks)
+            ),
+            category="core",
+        )
+        core_mat = comm.allreduce(core_local)
+        core = fold(core_mat, order - 1, ranks)
+        phase_sim["core"] += comm.clock.now - clock_before
+
+        # ---- fit / convergence (identical decision on every rank) --------
+        core_norm = float(np.linalg.norm(core.ravel()))
+        residual_sq = max(norm_x**2 - core_norm**2, 0.0)
+        fit = 1.0 - float(np.sqrt(residual_sq)) / norm_x if norm_x else 1.0
+        fit_history.append(fit)
+        iteration_sim_times.append(comm.clock.now - iter_clock_start)
+        iteration_wall_times.append(_time.perf_counter() - iter_wall_start)
+        if options.track_fit and iteration > 0:
+            if abs(fit_history[-1] - fit_history[-2]) < options.tolerance:
+                converged = True
+                break
+
+    owned_factor_rows = [
+        (plan.modes[mode].owned_nonempty_rows,
+         factors[mode][plan.modes[mode].owned_nonempty_rows].copy())
+        for mode in range(order)
+    ]
+    return RankRunResult(
+        rank=comm.rank,
+        fit_history=fit_history,
+        core=core,
+        owned_factor_rows=owned_factor_rows,
+        iteration_sim_times=iteration_sim_times,
+        iteration_wall_times=iteration_wall_times,
+        phase_sim_times=phase_sim,
+        per_mode_comm_bytes=per_mode_comm,
+        ttmc_work=list(plan.ttmc_nonzeros),
+        trsvd_rows=[mp.trsvd_rows for mp in plan.modes],
+        trsvd_iterations=trsvd_iteration_counts,
+    )
+
+
+def distributed_hooi(
+    tensor: SparseTensor,
+    ranks: Sequence[int] | int,
+    partition: TensorPartition,
+    options: Optional[HOOIOptions] = None,
+    *,
+    machine: MachineModel = BGQ_MACHINE,
+) -> DistributedHOOIResult:
+    """Run Algorithm 4 on the simulated MPI world and assemble the results."""
+    options = options or HOOIOptions()
+    ranks = check_rank_vector(ranks, tensor.shape)
+    global_plan, plans = build_plans(tensor, partition, ranks)
+    initial_factors = initialize_factors(
+        tensor, ranks, init=options.init, seed=options.seed
+    )
+
+    spmd = run_spmd(
+        hooi_rank_program,
+        partition.num_parts,
+        plans,
+        global_plan,
+        initial_factors,
+        options,
+        machine=machine,
+    )
+    rank_results: List[RankRunResult] = spmd.values
+
+    # All ranks compute identical fit histories and cores; use rank 0's.
+    reference = rank_results[0]
+    for rr in rank_results[1:]:
+        if not np.allclose(rr.fit_history, reference.fit_history, atol=1e-9):
+            raise RuntimeError("ranks disagree on the fit history — SPMD bug")
+
+    # Assemble the factor matrices from the owned rows.
+    factors = [
+        np.zeros((tensor.shape[mode], ranks[mode]), dtype=np.float64)
+        for mode in range(tensor.order)
+    ]
+    for rr in rank_results:
+        for mode, (rows, values) in enumerate(rr.owned_factor_rows):
+            factors[mode][rows] = values
+
+    decomposition = TuckerTensor(core=reference.core, factors=factors)
+    iterations = len(reference.fit_history)
+    sim_times = np.array(
+        [
+            max(rr.iteration_sim_times[i] for rr in rank_results)
+            for i in range(iterations)
+        ]
+    )
+    wall_times = np.array(
+        [
+            max(rr.iteration_wall_times[i] for rr in rank_results)
+            for i in range(iterations)
+        ]
+    )
+    return DistributedHOOIResult(
+        decomposition=decomposition,
+        fit_history=list(reference.fit_history),
+        iterations=iterations,
+        converged=len(reference.fit_history) < options.max_iterations,
+        rank_results=rank_results,
+        strategy=partition.strategy,
+        num_ranks=partition.num_parts,
+        simulated_time_per_iteration=float(sim_times.mean()) if sim_times.size else 0.0,
+        wall_time_per_iteration=float(wall_times.mean()) if wall_times.size else 0.0,
+    )

@@ -1,0 +1,343 @@
+"""Distributed matrix-free TRSVD (Section III-B of the paper).
+
+After the local TTMc step, the matricized tensor ``Y_(n)`` exists either
+
+* **row-distributed** (coarse grain): every rank holds the complete rows it
+  owns, or
+* **sum-distributed** (fine grain): ``Y_(n) = Σ_k Y^k_(n)`` where every rank
+  holds *partial* rows for the mode-``n`` indices its nonzeros touch.
+
+The paper's key point is that the TRSVD only needs MxV and MTxV products, so
+the partial results are never assembled.  :class:`DistributedTTMcMatrix`
+implements those two products with exactly the communication the paper
+prescribes:
+
+* MxV ``y ← Y x``: local multiply, then point-to-point *fold* of the partial
+  ``y`` entries to the row owners (one scalar per cut row per iteration);
+* MTxV ``xᵀ ← yᵀ Y``: point-to-point *scatter* of the summed ``y`` entries
+  back to the contributors, local multiply, then an all-to-all reduction
+  (allreduce) of the short ``x`` vector.
+
+``distributed_lanczos_svd`` runs Golub-Kahan Lanczos bidiagonalization on that
+operator with the *left* vectors distributed by row ownership and the *right*
+vectors (length ``Π_{t≠n} R_t``) replicated; all reductions are allreduces of
+short vectors.  Every rank executes the same scalar logic with the same seed,
+so the solver state stays bit-identical across ranks without extra
+synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distributed.plan import ModePlan
+from repro.simmpi.communicator import Communicator
+from repro.simmpi.machine import MachineModel
+
+__all__ = ["DistributedTTMcMatrix", "DistTRSVDResult", "distributed_lanczos_svd"]
+
+TAG_FOLD = 101
+TAG_SCATTER = 102
+
+
+class DistributedTTMcMatrix:
+    """Sum/row-distributed ``Y_(n)`` exposing communication-aware MxV / MTxV.
+
+    Parameters
+    ----------
+    comm:
+        The rank's communicator.
+    mode_plan:
+        The rank's :class:`~repro.distributed.plan.ModePlan` for this mode.
+    block_rows:
+        Global row indices of the local block (fine grain: the local ``J_n``;
+        coarse grain: the owned non-empty rows).
+    local_block:
+        ``(len(block_rows), ncols)`` local (partial) rows of ``Y_(n)``.
+    charge_time:
+        When true (default), local multiplies advance the rank's simulated
+        clock through the machine model.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        mode_plan: ModePlan,
+        block_rows: np.ndarray,
+        local_block: np.ndarray,
+        *,
+        charge_time: bool = True,
+    ) -> None:
+        self.comm = comm
+        self.plan = mode_plan
+        self.block_rows = np.asarray(block_rows, dtype=np.int64)
+        self.local_block = np.ascontiguousarray(local_block, dtype=np.float64)
+        if self.local_block.shape[0] != self.block_rows.shape[0]:
+            raise ValueError("local_block must have one row per block row")
+        self.ncols = int(self.local_block.shape[1])
+        self.owned_rows = mode_plan.owned_nonempty_rows
+        self.charge_time = charge_time
+
+        # Position of each block row within the owned segment (or -1).
+        owned_pos = {int(r): i for i, r in enumerate(self.owned_rows)}
+        self._block_to_owned = np.array(
+            [owned_pos.get(int(r), -1) for r in self.block_rows], dtype=np.int64
+        )
+        self._mine_mask = self._block_to_owned >= 0
+
+        # Fold/scatter peers: rows grouped by the peer on the other side.
+        # ``receive[peer]`` = rows I touch but ``peer`` owns (I send partials
+        # there and later receive the summed values from there);
+        # ``send[peer]``    = rows I own that ``peer`` touches.
+        block_pos = {int(r): i for i, r in enumerate(self.block_rows)}
+        self._to_owner: List[Tuple[int, np.ndarray]] = []
+        for peer, rows in sorted(mode_plan.fold.receive.items()):
+            positions = np.array([block_pos[int(r)] for r in rows], dtype=np.int64)
+            self._to_owner.append((peer, positions))
+        self._from_toucher: List[Tuple[int, np.ndarray]] = []
+        for peer, rows in sorted(mode_plan.fold.send.items()):
+            positions = np.array([owned_pos[int(r)] for r in rows], dtype=np.int64)
+            self._from_toucher.append((peer, positions))
+
+        # Statistics for reporting (one MxV+MTxV pair per Lanczos step).
+        self.matvec_count = 0
+        self.rmatvec_count = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def local_rows(self) -> int:
+        return int(self.block_rows.shape[0])
+
+    @property
+    def owned_count(self) -> int:
+        return int(self.owned_rows.shape[0])
+
+    def _charge(self, flops: float, streamed: float) -> None:
+        if not self.charge_time:
+            return
+        from repro.parallel.model import PhaseWork  # local import to avoid cycles
+
+        self.comm.advance_compute(
+            self.comm.machine.compute_time(
+                PhaseWork(flops=flops, streamed_bytes=streamed)
+            ),
+            category="trsvd",
+        )
+
+    # ------------------------------------------------------------------ #
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """``y ← Y x`` returning this rank's *owned* segment of ``y``."""
+        v = np.asarray(v, dtype=np.float64)
+        partial = self.local_block @ v
+        self._charge(2.0 * self.local_rows * self.ncols,
+                     8.0 * self.local_rows * self.ncols)
+        y = np.zeros(self.owned_count, dtype=np.float64)
+        mine = self._mine_mask
+        y[self._block_to_owned[mine]] += partial[mine]
+        # Fold partial entries to their owners (fine grain only; the lists are
+        # empty in the coarse-grain case).
+        for owner, positions in self._to_owner:
+            self.comm.send(partial[positions], dest=owner, tag=TAG_FOLD)
+        for toucher, positions in self._from_toucher:
+            data = self.comm.recv(source=toucher, tag=TAG_FOLD)
+            y[positions] += data
+        self.matvec_count += 1
+        return y
+
+    def rmatvec(self, y_owned: np.ndarray) -> np.ndarray:
+        """``xᵀ ← yᵀ Y`` returning the replicated short vector ``x``."""
+        y_owned = np.asarray(y_owned, dtype=np.float64)
+        if y_owned.shape[0] != self.owned_count:
+            raise ValueError("rmatvec expects this rank's owned y segment")
+        y_block = np.zeros(self.local_rows, dtype=np.float64)
+        mine = self._mine_mask
+        y_block[mine] = y_owned[self._block_to_owned[mine]]
+        # Scatter the summed values back to the contributors.
+        for toucher, positions in self._from_toucher:
+            self.comm.send(y_owned[positions], dest=toucher, tag=TAG_SCATTER)
+        for owner, positions in self._to_owner:
+            data = self.comm.recv(source=owner, tag=TAG_SCATTER)
+            y_block[positions] = data
+        x_local = self.local_block.T @ y_block
+        self._charge(2.0 * self.local_rows * self.ncols,
+                     8.0 * self.local_rows * self.ncols)
+        x = self.comm.allreduce(x_local)
+        self.rmatvec_count += 1
+        return x
+
+    # ------------------------------------------------------------------ #
+    def dot_owned(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Global dot product of two owned-segment vectors."""
+        local = float(a @ b)
+        return float(self.comm.allreduce(np.array([local]))[0])
+
+    def block_dot_owned(self, basis: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        """Global ``basisᵀ @ vector`` for an owned-segment basis (m × j)."""
+        if basis.shape[1] == 0:
+            return np.zeros(0, dtype=np.float64)
+        local = basis.T @ vector
+        return self.comm.allreduce(local)
+
+
+@dataclass
+class DistTRSVDResult:
+    """Outcome of a distributed truncated SVD solve (per rank)."""
+
+    left_owned: np.ndarray          # (num owned non-empty rows, k)
+    singular_values: np.ndarray
+    iterations: int
+    matvecs: int
+    rmatvecs: int
+    converged: bool
+
+
+def distributed_lanczos_svd(
+    op: DistributedTTMcMatrix,
+    rank: int,
+    *,
+    tol: float = 1e-8,
+    max_restarts: int = 12,
+    subspace: Optional[int] = None,
+    seed: Optional[int] = 0,
+) -> DistTRSVDResult:
+    """Golub-Kahan Lanczos bidiagonalization on a distributed operator.
+
+    The algorithm is the distributed counterpart of
+    :func:`repro.core.trsvd.lanczos_svd`: right (short) vectors are replicated,
+    left vectors live on the owned row segments, and every inner product is a
+    short allreduce.  All ranks run the identical scalar control flow, so no
+    additional synchronization is required for the restart decisions.
+    """
+    total_rows = int(
+        op.comm.allreduce(np.array([op.owned_count], dtype=np.float64))[0]
+    )
+    n = op.ncols
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    rank = min(rank, total_rows, n) if total_rows > 0 else min(rank, n)
+    rank = max(rank, 1)
+    if subspace is None:
+        subspace = max(2 * rank + 4, rank + 8)
+    cap = min(total_rows, n) if total_rows > 0 else n
+    subspace = int(min(max(subspace, rank + 1), max(cap, 1)))
+
+    # ``rng`` drives decisions that must be identical on every rank (the right
+    # starting vector and right-side deflations); it must therefore see the
+    # same number of draws everywhere.  ``local_rng`` is only used for
+    # left-side (owned-segment) deflation vectors, whose content is allowed to
+    # differ across ranks, so drawing a rank-dependent number of values from
+    # it cannot desynchronize the shared stream.
+    rng = np.random.default_rng(seed)
+    local_rng = np.random.default_rng(None if seed is None else seed + 7919 * (op.comm.rank + 1))
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+
+    m_local = op.owned_count
+    V = np.zeros((n, subspace + 1))
+    U = np.zeros((m_local, subspace))
+    alphas = np.zeros(subspace)
+    betas = np.zeros(subspace)
+
+    V[:, 0] = v
+    start = 0
+    beta_prev = 0.0
+    u_prev = np.zeros(m_local)
+    locked_sigma = np.zeros(0)
+    restart_coupling = np.zeros(0)
+
+    left = np.zeros((m_local, rank))
+    sigma = np.zeros(rank)
+    converged = False
+    total_restarts = 0
+
+    for restart in range(max_restarts):
+        total_restarts = restart + 1
+        j = start
+        while j < subspace:
+            u = op.matvec(V[:, j]) - beta_prev * u_prev
+            if j > 0:
+                coeffs = op.block_dot_owned(U[:, :j], u)
+                u -= U[:, :j] @ coeffs
+            alpha = float(np.sqrt(max(op.dot_owned(u, u), 0.0)))
+            if alpha < 1e-14:
+                # Deflate with a random direction orthogonal to the basis.
+                u = local_rng.standard_normal(m_local) if m_local else u
+                if j > 0:
+                    coeffs = op.block_dot_owned(U[:, :j], u)
+                    u -= U[:, :j] @ coeffs
+                norm_u = float(np.sqrt(max(op.dot_owned(u, u), 0.0)))
+                if norm_u > 0:
+                    u = u / norm_u
+                alpha = 0.0
+            else:
+                u = u / alpha
+            U[:, j] = u
+            alphas[j] = alpha
+
+            w = op.rmatvec(u) - alpha * V[:, j]
+            w -= V[:, : j + 1] @ (V[:, : j + 1].T @ w)
+            beta = float(np.linalg.norm(w))
+            if beta < 1e-14:
+                w = rng.standard_normal(n)
+                w -= V[:, : j + 1] @ (V[:, : j + 1].T @ w)
+                norm_w = float(np.linalg.norm(w))
+                if norm_w > 0:
+                    w = w / norm_w
+                beta = 0.0
+            else:
+                w = w / beta
+            V[:, j + 1] = w
+            betas[j] = beta
+            beta_prev = beta
+            u_prev = u
+            j += 1
+
+        B = np.zeros((subspace, subspace))
+        if start > 0:
+            B[:start, :start] = np.diag(locked_sigma)
+            B[:start, start] = restart_coupling
+        for i in range(start, subspace):
+            B[i, i] = alphas[i]
+            if i + 1 < subspace:
+                B[i, i + 1] = betas[i]
+
+        P, s, Qt = np.linalg.svd(B)
+        sigma = s[:rank]
+        beta_last = betas[subspace - 1]
+        residuals = np.abs(beta_last * P[subspace - 1, :rank])
+        threshold = tol * max(float(s[0]), 1e-300)
+        left = U[:, :subspace] @ P[:, :rank]
+        right = V[:, :subspace] @ Qt.T
+        # Stop on convergence, on the restart budget, or when the subspace
+        # already spans the whole problem (rank == subspace), in which case a
+        # thick restart has nothing left to add.
+        if (
+            np.all(residuals <= threshold)
+            or restart == max_restarts - 1
+            or rank >= subspace
+        ):
+            converged = bool(np.all(residuals <= threshold)) or rank >= subspace
+            break
+
+        keep = rank
+        locked_sigma = s[:keep].copy()
+        restart_coupling = beta_last * P[subspace - 1, :keep].copy()
+        U[:, :keep] = left[:, :keep]
+        V[:, :keep] = right[:, :keep]
+        V[:, keep] = V[:, subspace]
+        start = keep
+        beta_prev = 0.0
+        u_prev = np.zeros(m_local)
+
+    return DistTRSVDResult(
+        left_owned=np.ascontiguousarray(left[:, :rank]),
+        singular_values=np.ascontiguousarray(sigma[:rank]),
+        iterations=total_restarts,
+        matvecs=op.matvec_count,
+        rmatvecs=op.rmatvec_count,
+        converged=converged,
+    )

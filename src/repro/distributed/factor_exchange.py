@@ -1,0 +1,46 @@
+"""Factor-row exchange (Algorithm 4, line 14).
+
+After the mode-``n`` TRSVD each rank holds the fresh rows of ``U_n`` it owns.
+Before the next TTMc can run, every rank must receive the fresh values of the
+``U_n`` rows its *local tensor* references.  The rows to move were computed
+once in the plan (``ModePlan.factor_exchange``); each message carries
+``len(rows) × R_n`` doubles, which is the per-mode factor communication the
+paper contrasts with the (much larger) ``Π_{t≠n} R_t``-wide partial TTMc rows
+the fine-grain algorithm avoids sending.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.distributed.plan import ExchangePlan
+from repro.simmpi.communicator import Communicator
+
+__all__ = ["exchange_factor_rows"]
+
+TAG_FACTOR = 103
+
+
+def exchange_factor_rows(
+    comm: Communicator,
+    exchange: ExchangePlan,
+    factor: np.ndarray,
+) -> np.ndarray:
+    """Send owned rows of ``factor`` to the ranks that need them; fill received rows.
+
+    ``factor`` is this rank's full-size (``I_n × R_n``) copy of the factor
+    matrix with the owned rows already up to date; it is updated in place with
+    the rows received from their owners and returned for convenience.
+    """
+    # Buffered sends first (deadlock-free in the simulated runtime), then
+    # receives in a deterministic (sorted peer) order.
+    for peer in sorted(exchange.send):
+        rows = exchange.send[peer]
+        comm.send(np.ascontiguousarray(factor[rows]), dest=peer, tag=TAG_FACTOR)
+    for peer in sorted(exchange.receive):
+        rows = exchange.receive[peer]
+        data = comm.recv(source=peer, tag=TAG_FACTOR)
+        factor[rows] = data
+    return factor

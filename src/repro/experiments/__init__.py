@@ -1,0 +1,54 @@
+"""Reproduction harness: one module per table/figure of the paper's evaluation."""
+
+from repro.experiments.calibration import (
+    DEFAULT_DATASET_SCALE,
+    DEFAULT_NODE_COUNTS,
+    DEFAULT_THREAD_COUNTS,
+    EXPERIMENT_MACHINE,
+    EXPERIMENT_NODE,
+    paper_ranks,
+)
+from repro.experiments.harness import (
+    DATASET_ORDER,
+    STRATEGIES,
+    ExperimentContext,
+    format_float,
+    format_table,
+)
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+from repro.experiments.table4 import render_table4, run_table4
+from repro.experiments.table5 import render_table5, run_table5
+from repro.experiments.met_compare import (
+    MetComparison,
+    render_met_comparison,
+    run_met_comparison,
+)
+
+__all__ = [
+    "DEFAULT_DATASET_SCALE",
+    "DEFAULT_NODE_COUNTS",
+    "DEFAULT_THREAD_COUNTS",
+    "EXPERIMENT_MACHINE",
+    "EXPERIMENT_NODE",
+    "paper_ranks",
+    "DATASET_ORDER",
+    "STRATEGIES",
+    "ExperimentContext",
+    "format_float",
+    "format_table",
+    "render_table1",
+    "run_table1",
+    "render_table2",
+    "run_table2",
+    "render_table3",
+    "run_table3",
+    "render_table4",
+    "run_table4",
+    "render_table5",
+    "run_table5",
+    "MetComparison",
+    "render_met_comparison",
+    "run_met_comparison",
+]

@@ -1,0 +1,108 @@
+"""Experiment-wide calibration constants.
+
+Everything that maps the laptop-scale reproduction onto the paper's setup is
+collected here so EXPERIMENTS.md can point at a single source of truth:
+
+* the machine model constants (BlueGene/Q-like node + network);
+* the default dataset scale factors (how much the synthetic analogs shrink the
+  paper's tensors);
+* the decomposition ranks used throughout (the paper's choices: rank 10 per
+  mode for 3-mode tensors, rank 5 per mode for 4-mode tensors);
+* the rank (node) counts of the strong-scaling sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.parallel.model import NodeModel
+from repro.simmpi.machine import MachineModel
+
+__all__ = [
+    "EXPERIMENT_NODE",
+    "EXPERIMENT_MACHINE",
+    "paper_ranks",
+    "DEFAULT_DATASET_SCALE",
+    "DEFAULT_NODE_COUNTS",
+    "DEFAULT_THREAD_COUNTS",
+    "scaled_node",
+    "scaled_machine",
+]
+
+#: Node model used by every experiment (see repro.parallel.model.NodeModel for
+#: the meaning of each constant).  Values approximate a BlueGene/Q node: 16
+#: in-order cores at 1.6 GHz with 2 useful hardware threads each, ~28 GB/s of
+#: memory bandwidth and ~85 ns irregular-access latency.
+EXPERIMENT_NODE = NodeModel(
+    cores=16,
+    smt=2,
+    flops_per_core=1.6e9,
+    memory_bandwidth=28e9,
+    # Effective cost of one irregular access in the TTMc gather/scatter.  This
+    # is deliberately larger than a raw DRAM latency: on the in-order PowerPC
+    # A2 every miss also stalls the dependent Kronecker/accumulate chain, and
+    # the paper's single-thread per-nonzero TTMc cost (Table V) implies an
+    # effective ~0.5 µs per touched cache line.  Documented in EXPERIMENTS.md.
+    memory_latency=500e-9,
+    latency_overlap_per_thread=1.0,
+    thread_overhead=5e-6,
+)
+
+#: Cluster model: the node above plus a torus-like network (α = 3 µs,
+#: ~1.8 GB/s per-link bandwidth), 32 threads per MPI rank as in the paper.
+EXPERIMENT_MACHINE = MachineModel(
+    node=EXPERIMENT_NODE,
+    threads_per_rank=32,
+    network_latency=3.0e-6,
+    network_bandwidth=1.8e9,
+)
+
+#: Default scale factor of the synthetic dataset analogs (fraction of the
+#: paper's nonzero count / mode sizes).  1e-3 keeps the shapes of Table I at
+#: roughly 80K-140K nonzeros, which a laptop handles comfortably.
+DEFAULT_DATASET_SCALE: float = 1e-3
+
+#: MPI-rank counts of the strong-scaling sweep (the paper uses 1..256 nodes).
+DEFAULT_NODE_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Thread counts of the shared-memory sweep (the paper's Table V).
+DEFAULT_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+
+def paper_ranks(order: int) -> Tuple[int, ...]:
+    """The paper's decomposition ranks: 10 per mode for 3-mode tensors, 5 for 4-mode."""
+    if order == 3:
+        return (10, 10, 10)
+    if order == 4:
+        return (5, 5, 5, 5)
+    return tuple([5] * order)
+
+
+def scaled_node(scale: float = DEFAULT_DATASET_SCALE) -> NodeModel:
+    """Node model matched to the dataset scale factor.
+
+    The synthetic analogs shrink the paper's tensors by ``scale``; to keep the
+    *ratio* of computation to communication (and therefore the shape of the
+    scaling curves) at the paper's operating point, the modelled machine is
+    slowed down by the same factor: per-core flop rate and memory bandwidth
+    are multiplied by ``scale`` while the latencies — which do not depend on
+    the data volume — stay untouched.  Equivalently, one simulated second on
+    this machine corresponds to one real second of the paper's BlueGene/Q on
+    the full-size tensor.
+    """
+    return EXPERIMENT_NODE.with_overrides(
+        flops_per_core=EXPERIMENT_NODE.flops_per_core * scale,
+        memory_bandwidth=EXPERIMENT_NODE.memory_bandwidth * scale,
+        # The latency charge is per irregular access, i.e. per unit of work,
+        # so it scales inversely with the workload size like the other
+        # throughput constants (the per-message network latency does not).
+        memory_latency=EXPERIMENT_NODE.memory_latency / scale,
+    )
+
+
+def scaled_machine(scale: float = DEFAULT_DATASET_SCALE) -> MachineModel:
+    """Cluster model matched to the dataset scale factor (see :func:`scaled_node`)."""
+    return EXPERIMENT_MACHINE.with_overrides(
+        node=scaled_node(scale),
+        network_bandwidth=EXPERIMENT_MACHINE.network_bandwidth * scale,
+    )

@@ -1,0 +1,88 @@
+"""Table II — distributed strong scaling (time per HOOI iteration).
+
+The paper reports the average time per HOOI iteration of the four
+partitioning configurations (fine-hp, fine-rd, coarse-hp, coarse-bl) on 1-256
+BlueGene/Q nodes.  The reproduction computes, for every (dataset, strategy,
+node count), the per-rank work and communication volumes implied by the
+partition and pushes them through the calibrated machine model
+(:func:`repro.distributed.performance.estimate_iteration_time`).  On small
+rank counts the full SPMD simulation can be run instead (and is, in the tests)
+— both paths share the same plans, so they agree on the work/volume numbers.
+
+The qualitative expectations (see DESIGN.md) are: fine-hp scales best and is
+roughly twice as fast as fine-rd on the 4-mode tensors; the coarse variants
+trail behind due to TTMc load imbalance; NELL is the outlier where fine-rd
+can beat fine-hp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.distributed.performance import (
+    collect_partition_statistics,
+    estimate_iteration_time,
+)
+from repro.experiments.calibration import DEFAULT_NODE_COUNTS, scaled_machine
+from repro.experiments.harness import (
+    DATASET_ORDER,
+    STRATEGIES,
+    ExperimentContext,
+    format_table,
+)
+from repro.simmpi.machine import MachineModel
+
+__all__ = ["run_table2", "render_table2"]
+
+
+def run_table2(
+    context: Optional[ExperimentContext] = None,
+    *,
+    datasets: Sequence[str] = DATASET_ORDER,
+    strategies: Sequence[str] = STRATEGIES,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    machine: Optional[MachineModel] = None,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Modelled seconds per HOOI iteration: ``result[dataset][strategy][P]``.
+
+    ``machine`` defaults to the scale-matched machine model (see
+    :func:`repro.experiments.calibration.scaled_machine`), so one modelled
+    second corresponds to one second of the paper's full-size run.
+    """
+    context = context or ExperimentContext()
+    if machine is None:
+        machine = scaled_machine(context.scale)
+    result: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for dataset in datasets:
+        tensor = context.tensor(dataset)
+        ranks = context.ranks(dataset)
+        result[dataset] = {}
+        for strategy in strategies:
+            per_p: Dict[int, float] = {}
+            for num_parts in node_counts:
+                partition = context.partition(dataset, strategy, num_parts)
+                stats = collect_partition_statistics(tensor, partition, ranks)
+                per_p[num_parts] = estimate_iteration_time(
+                    tensor, partition, ranks, machine=machine, statistics=stats
+                )
+            result[dataset][strategy] = per_p
+    return result
+
+
+def render_table2(result: Dict[str, Dict[str, Dict[int, float]]]) -> str:
+    """Render the scaling table, one block per dataset (as in the paper)."""
+    blocks: List[str] = []
+    for dataset, per_strategy in result.items():
+        node_counts = sorted(next(iter(per_strategy.values())).keys())
+        headers = ["#ranks"] + list(per_strategy.keys())
+        rows = []
+        for p in node_counts:
+            rows.append([str(p)] + [per_strategy[s][p] for s in per_strategy])
+        blocks.append(
+            format_table(
+                headers,
+                rows,
+                title=f"Table II ({dataset}): modelled seconds per HOOI iteration",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,33 @@
+"""Shared-memory parallel HOOI (the paper's Algorithm 3) and the node model."""
+
+from repro.parallel.parallel_for import ChunkSchedule, ParallelConfig, make_chunks, parallel_for
+from repro.parallel.shared_ttmc import parallel_ttmc_matricized, ttmc_row_block
+from repro.parallel.model import BGQ_NODE, NodeModel, PhaseWork
+from repro.parallel.work import (
+    core_phase_work,
+    kron_width,
+    trsvd_phase_work,
+    trsvd_row_work,
+    ttmc_phase_work,
+)
+from repro.parallel.shared_hooi import SharedHOOIReport, predict_iteration_time, shared_hooi
+
+__all__ = [
+    "ChunkSchedule",
+    "ParallelConfig",
+    "make_chunks",
+    "parallel_for",
+    "parallel_ttmc_matricized",
+    "ttmc_row_block",
+    "BGQ_NODE",
+    "NodeModel",
+    "PhaseWork",
+    "core_phase_work",
+    "kron_width",
+    "trsvd_phase_work",
+    "trsvd_row_work",
+    "ttmc_phase_work",
+    "SharedHOOIReport",
+    "predict_iteration_time",
+    "shared_hooi",
+]

@@ -1,0 +1,137 @@
+"""Roofline-style node performance model.
+
+The paper's shared-memory discussion (Section V-B) explains Table V in terms
+of two regimes: the TTMc is *memory-latency bound* (every nonzero gathers
+factor rows at irregular addresses, so multithreading hides latency well —
+even superlinearly with 2 hardware threads per core on the BlueGene/Q A2),
+while the TRSVD's dense MxV / MTxV are *memory-bandwidth bound* (once the node
+bandwidth is saturated, extra threads do not help).
+
+The model here captures exactly that: a phase is described by its flop count,
+the number of irregular (latency-bound) memory accesses and the number of
+streamed bytes; its execution time with ``p`` threads is the max of the three
+rooflines.  The same node model feeds the distributed machine model
+(:mod:`repro.simmpi.machine`), which adds the network.
+
+The default constants are calibrated to an IBM BlueGene/Q node (16 × PowerPC
+A2 @ 1.6 GHz, 16 GB RAM); they only need to be *plausible*, since the
+reproduction targets the shape of the scaling curves, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+__all__ = ["NodeModel", "PhaseWork", "BGQ_NODE"]
+
+
+@dataclass(frozen=True)
+class PhaseWork:
+    """Work descriptor of one computational phase on one node / rank."""
+
+    flops: float = 0.0
+    random_accesses: float = 0.0   # irregular (cache-missing) loads
+    streamed_bytes: float = 0.0    # sequential reads+writes of dense data
+
+    def __add__(self, other: "PhaseWork") -> "PhaseWork":
+        return PhaseWork(
+            flops=self.flops + other.flops,
+            random_accesses=self.random_accesses + other.random_accesses,
+            streamed_bytes=self.streamed_bytes + other.streamed_bytes,
+        )
+
+    def scaled(self, factor: float) -> "PhaseWork":
+        return PhaseWork(
+            flops=self.flops * factor,
+            random_accesses=self.random_accesses * factor,
+            streamed_bytes=self.streamed_bytes * factor,
+        )
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """Single-node roofline model.
+
+    Parameters
+    ----------
+    cores:
+        Physical cores per node.
+    smt:
+        Hardware threads per core that can usefully overlap memory and
+        arithmetic (the paper uses 2 of the A2's 4).
+    flops_per_core:
+        Sustained flop/s of one core on the dense kernels used here.
+    memory_bandwidth:
+        Node-aggregate sustained memory bandwidth (bytes/s).
+    memory_latency:
+        Average latency of an irregular access that misses cache (seconds).
+    latency_overlap_per_thread:
+        How many outstanding irregular accesses a single thread keeps in
+        flight; total overlap is ``threads * latency_overlap_per_thread``
+        capped at ``cores * smt * latency_overlap_per_thread``.
+    thread_overhead:
+        Fixed per-parallel-region overhead (seconds) — fork/join cost.
+    """
+
+    cores: int = 16
+    smt: int = 2
+    flops_per_core: float = 1.6e9
+    memory_bandwidth: float = 28e9
+    memory_latency: float = 85e-9
+    latency_overlap_per_thread: float = 1.0
+    thread_overhead: float = 5e-6
+
+    # ------------------------------------------------------------------ #
+    def compute_threads(self, threads: int) -> float:
+        """Threads that contribute arithmetic throughput (capped at core count)."""
+        return float(min(max(threads, 1), self.cores))
+
+    def latency_threads(self, threads: int) -> float:
+        """Threads that contribute latency hiding (capped at cores × smt)."""
+        return float(min(max(threads, 1), self.cores * self.smt))
+
+    def bandwidth_fraction(self, threads: int) -> float:
+        """Fraction of the node bandwidth reachable with ``threads`` threads.
+
+        A single thread cannot saturate the memory system; saturation is
+        reached at roughly a quarter of the cores (a common rule of thumb that
+        also matches the paper's observation that TRSVD stops scaling early).
+        """
+        threads = max(threads, 1)
+        saturation_threads = max(self.cores // 4, 1)
+        return min(1.0, threads / saturation_threads)
+
+    # ------------------------------------------------------------------ #
+    def phase_time(self, work: PhaseWork, threads: int) -> float:
+        """Predicted execution time of a phase with ``threads`` threads."""
+        threads = max(int(threads), 1)
+        compute = work.flops / (self.flops_per_core * self.compute_threads(threads))
+        latency = (
+            work.random_accesses
+            * self.memory_latency
+            / (self.latency_threads(threads) * self.latency_overlap_per_thread)
+        )
+        bandwidth = work.streamed_bytes / (
+            self.memory_bandwidth * self.bandwidth_fraction(threads)
+        )
+        return max(compute, latency, bandwidth) + self.thread_overhead
+
+    def breakdown(self, work: PhaseWork, threads: int) -> Dict[str, float]:
+        """Individual roofline terms (useful in tests and reports)."""
+        threads = max(int(threads), 1)
+        return {
+            "compute": work.flops / (self.flops_per_core * self.compute_threads(threads)),
+            "latency": work.random_accesses
+            * self.memory_latency
+            / (self.latency_threads(threads) * self.latency_overlap_per_thread),
+            "bandwidth": work.streamed_bytes
+            / (self.memory_bandwidth * self.bandwidth_fraction(threads)),
+        }
+
+    def with_overrides(self, **kwargs) -> "NodeModel":
+        return replace(self, **kwargs)
+
+
+#: Default node model used by the experiments (BlueGene/Q-like).
+BGQ_NODE = NodeModel()

@@ -1,0 +1,55 @@
+"""Hypergraph models and partitioners for the distributed HOOI task decompositions."""
+
+from repro.partition.hypergraph import Hypergraph
+from repro.partition.metrics import (
+    PartitionQuality,
+    connectivity_cutsize,
+    cut_nets,
+    evaluate_partition,
+    load_imbalance,
+    max_avg,
+    part_weights,
+)
+from repro.partition.models import (
+    FineModelIndex,
+    build_coarse_hypergraph,
+    build_fine_hypergraph,
+)
+from repro.partition.multilevel import (
+    PartitionerOptions,
+    multilevel_bisect,
+    partition_hypergraph,
+)
+from repro.partition.strategies import (
+    PARTITION_STRATEGIES,
+    TensorPartition,
+    coarse_block_partition,
+    coarse_hypergraph_partition,
+    fine_hypergraph_partition,
+    fine_random_partition,
+    make_partition,
+)
+
+__all__ = [
+    "Hypergraph",
+    "PartitionQuality",
+    "connectivity_cutsize",
+    "cut_nets",
+    "evaluate_partition",
+    "load_imbalance",
+    "max_avg",
+    "part_weights",
+    "FineModelIndex",
+    "build_coarse_hypergraph",
+    "build_fine_hypergraph",
+    "PartitionerOptions",
+    "multilevel_bisect",
+    "partition_hypergraph",
+    "PARTITION_STRATEGIES",
+    "TensorPartition",
+    "coarse_block_partition",
+    "coarse_hypergraph_partition",
+    "fine_hypergraph_partition",
+    "fine_random_partition",
+    "make_partition",
+]

@@ -1,0 +1,272 @@
+"""Hypergraph data structure.
+
+The paper models the computational tasks of the distributed HOOI and their
+data dependencies as a hypergraph (Section III-B, following Kaya & Uçar's
+SC'15 CP-ALS work [16]): vertices are tasks, nets (hyperedges) connect the
+tasks that share a data item, and the connectivity-1 cutsize of a K-way
+partition equals the communication volume of one iteration.  PaToH plays the
+partitioner role in the paper; :mod:`repro.partition.multilevel` plays it
+here.
+
+Storage is CSR-like on both sides (nets → pins and vertices → nets) so the
+partitioners and metrics can be written with vectorized NumPy operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """An undirected hypergraph with vertex weights and net costs.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices (tasks).
+    net_pins:
+        Sequence of pin lists — ``net_pins[e]`` is an iterable of vertex ids
+        connected by net ``e`` — **or** a pre-built ``(net_ptr, pins)`` CSR
+        pair (both int64 ndarrays).
+    vertex_weights:
+        Optional per-vertex weights (default all ones).
+    net_costs:
+        Optional per-net costs (default all ones).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        net_pins,
+        *,
+        vertex_weights: Optional[np.ndarray] = None,
+        net_costs: Optional[np.ndarray] = None,
+    ) -> None:
+        self.num_vertices = int(num_vertices)
+        if self.num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+
+        if isinstance(net_pins, tuple) and len(net_pins) == 2:
+            net_ptr, pins = net_pins
+            self.net_ptr = np.asarray(net_ptr, dtype=np.int64)
+            self.pins = np.asarray(pins, dtype=np.int64)
+        else:
+            lists = [np.asarray(list(p), dtype=np.int64) for p in net_pins]
+            sizes = np.array([p.shape[0] for p in lists], dtype=np.int64)
+            self.net_ptr = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+            self.pins = (
+                np.concatenate(lists) if lists else np.empty(0, dtype=np.int64)
+            )
+        if self.net_ptr.ndim != 1 or self.net_ptr[0] != 0:
+            raise ValueError("net_ptr must be a 1-D array starting at 0")
+        if np.any(np.diff(self.net_ptr) < 0):
+            raise ValueError("net_ptr must be non-decreasing")
+        if self.pins.shape[0] != self.net_ptr[-1]:
+            raise ValueError("pins length does not match net_ptr")
+        if self.pins.size and (self.pins.min() < 0 or self.pins.max() >= self.num_vertices):
+            raise ValueError("pin vertex id out of range")
+
+        self.num_nets = int(self.net_ptr.shape[0] - 1)
+
+        if vertex_weights is None:
+            self.vertex_weights = np.ones(self.num_vertices, dtype=np.int64)
+        else:
+            self.vertex_weights = np.asarray(vertex_weights, dtype=np.int64)
+            if self.vertex_weights.shape != (self.num_vertices,):
+                raise ValueError("vertex_weights must have one entry per vertex")
+        if net_costs is None:
+            self.net_costs = np.ones(self.num_nets, dtype=np.int64)
+        else:
+            self.net_costs = np.asarray(net_costs, dtype=np.int64)
+            if self.net_costs.shape != (self.num_nets,):
+                raise ValueError("net_costs must have one entry per net")
+
+        self._vertex_ptr: Optional[np.ndarray] = None
+        self._vertex_nets: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pins(self) -> int:
+        return int(self.pins.shape[0])
+
+    @property
+    def total_vertex_weight(self) -> int:
+        return int(self.vertex_weights.sum())
+
+    def net_sizes(self) -> np.ndarray:
+        return np.diff(self.net_ptr)
+
+    def net(self, e: int) -> np.ndarray:
+        """Pins of net ``e``."""
+        return self.pins[self.net_ptr[e]: self.net_ptr[e + 1]]
+
+    def net_of_pins(self) -> np.ndarray:
+        """For every pin position, the id of its net (length ``num_pins``)."""
+        return np.repeat(np.arange(self.num_nets, dtype=np.int64), self.net_sizes())
+
+    # ------------------------------------------------------------------ #
+    def _build_vertex_adjacency(self) -> None:
+        if self._vertex_ptr is not None:
+            return
+        net_of_pin = self.net_of_pins()
+        order = np.argsort(self.pins, kind="stable")
+        sorted_vertices = self.pins[order]
+        self._vertex_nets = net_of_pin[order]
+        counts = np.bincount(sorted_vertices, minlength=self.num_vertices)
+        self._vertex_ptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+
+    @property
+    def vertex_ptr(self) -> np.ndarray:
+        """CSR pointer of the vertex → nets adjacency."""
+        self._build_vertex_adjacency()
+        return self._vertex_ptr
+
+    @property
+    def vertex_nets(self) -> np.ndarray:
+        """CSR indices of the vertex → nets adjacency."""
+        self._build_vertex_adjacency()
+        return self._vertex_nets
+
+    def nets_of_vertex(self, v: int) -> np.ndarray:
+        self._build_vertex_adjacency()
+        return self._vertex_nets[self._vertex_ptr[v]: self._vertex_ptr[v + 1]]
+
+    def vertex_degrees(self) -> np.ndarray:
+        """Number of nets incident to each vertex."""
+        return np.diff(self.vertex_ptr)
+
+    # ------------------------------------------------------------------ #
+    def restrict_to_vertices(
+        self, vertex_ids: np.ndarray
+    ) -> Tuple["Hypergraph", np.ndarray]:
+        """Induced sub-hypergraph on ``vertex_ids``.
+
+        Nets are restricted to the selected vertices; nets that end up with
+        fewer than two pins are dropped (they can never be cut).  Returns the
+        sub-hypergraph and the array mapping new vertex ids to the original
+        ones (``vertex_ids`` itself, for convenience).
+        """
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        remap = -np.ones(self.num_vertices, dtype=np.int64)
+        remap[vertex_ids] = np.arange(vertex_ids.shape[0], dtype=np.int64)
+
+        net_of_pin = self.net_of_pins()
+        keep_pin = remap[self.pins] >= 0
+        kept_nets = net_of_pin[keep_pin]
+        kept_pins = remap[self.pins[keep_pin]]
+        # Count surviving pins per net; keep nets with >= 2 pins.
+        pin_counts = np.bincount(kept_nets, minlength=self.num_nets)
+        keep_net = pin_counts >= 2
+        net_remap = -np.ones(self.num_nets, dtype=np.int64)
+        net_remap[keep_net] = np.arange(int(keep_net.sum()), dtype=np.int64)
+        select = keep_net[kept_nets]
+        new_net_of_pin = net_remap[kept_nets[select]]
+        new_pins = kept_pins[select]
+        order = np.argsort(new_net_of_pin, kind="stable")
+        new_net_of_pin = new_net_of_pin[order]
+        new_pins = new_pins[order]
+        new_counts = np.bincount(new_net_of_pin, minlength=int(keep_net.sum()))
+        new_ptr = np.concatenate(([0], np.cumsum(new_counts))).astype(np.int64)
+        sub = Hypergraph(
+            vertex_ids.shape[0],
+            (new_ptr, new_pins),
+            vertex_weights=self.vertex_weights[vertex_ids],
+            net_costs=self.net_costs[keep_net],
+        )
+        return sub, vertex_ids
+
+    def contract(self, cluster_of: np.ndarray) -> "Hypergraph":
+        """Coarsen the hypergraph by merging vertices with the same cluster id.
+
+        ``cluster_of`` maps each vertex to a cluster id in
+        ``0..num_clusters-1``.  Vertex weights are summed; duplicate pins
+        within a net collapse; nets reduced to a single pin are dropped;
+        identical nets are merged with their costs added (PaToH's "identical
+        net" optimization, which keeps coarse levels small).
+        """
+        cluster_of = np.asarray(cluster_of, dtype=np.int64)
+        if cluster_of.shape != (self.num_vertices,):
+            raise ValueError("cluster_of must map every vertex")
+        num_clusters = int(cluster_of.max()) + 1 if cluster_of.size else 0
+        weights = np.bincount(
+            cluster_of, weights=self.vertex_weights, minlength=num_clusters
+        ).astype(np.int64)
+
+        net_of_pin = self.net_of_pins()
+        coarse_pins = cluster_of[self.pins]
+        # Deduplicate (net, coarse vertex) pairs.
+        keys = net_of_pin * np.int64(max(num_clusters, 1)) + coarse_pins
+        uniq_keys, first_pos = np.unique(keys, return_index=True)
+        dedup_nets = net_of_pin[first_pos]
+        dedup_pins = coarse_pins[first_pos]
+        counts = np.bincount(dedup_nets, minlength=self.num_nets)
+        keep_net = counts >= 2
+
+        # Merge identical nets: hash each surviving net's sorted pin list.
+        order = np.lexsort((dedup_pins, dedup_nets))
+        dedup_nets = dedup_nets[order]
+        dedup_pins = dedup_pins[order]
+        keep_mask = keep_net[dedup_nets]
+        dedup_nets = dedup_nets[keep_mask]
+        dedup_pins = dedup_pins[keep_mask]
+        kept_net_ids = np.flatnonzero(keep_net)
+        if kept_net_ids.size == 0:
+            return Hypergraph(
+                num_clusters,
+                (np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64)),
+                vertex_weights=weights,
+                net_costs=np.empty(0, dtype=np.int64),
+            )
+        # Detect identical nets with a vectorized content hash: nets with the
+        # same (size, hash) are merged and their costs added (PaToH's
+        # identical-net optimization).  Collisions are astronomically unlikely
+        # (two independent 64-bit mixes) and would only affect partition
+        # quality, never correctness of the downstream algorithms.
+        net_remap = -np.ones(self.num_nets, dtype=np.int64)
+        net_remap[kept_net_ids] = np.arange(kept_net_ids.shape[0])
+        local_net = net_remap[dedup_nets]
+        local_counts = np.bincount(local_net, minlength=kept_net_ids.shape[0])
+        local_ptr = np.concatenate(([0], np.cumsum(local_counts))).astype(np.int64)
+        mix1 = (dedup_pins.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15))
+        mix1 = (mix1 ^ (mix1 >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        mix1 = mix1 ^ (mix1 >> np.uint64(27))
+        mix2 = (dedup_pins.astype(np.uint64) * np.uint64(0xC2B2AE3D27D4EB4F)) ^ np.uint64(0x165667B19E3779F9)
+        mix2 = mix2 ^ (mix2 >> np.uint64(29))
+        hash1 = np.zeros(kept_net_ids.shape[0], dtype=np.uint64)
+        hash2 = np.zeros(kept_net_ids.shape[0], dtype=np.uint64)
+        np.add.at(hash1, local_net, mix1)
+        np.add.at(hash2, local_net, mix2)
+        kept_costs = self.net_costs[kept_net_ids]
+        signature = np.stack(
+            [local_counts.astype(np.uint64), hash1, hash2], axis=1
+        )
+        _, rep_index, group_of = np.unique(
+            signature, axis=0, return_index=True, return_inverse=True
+        )
+        merged_costs = np.zeros(rep_index.shape[0], dtype=np.int64)
+        np.add.at(merged_costs, group_of.ravel(), kept_costs)
+        # Gather the pins of each representative net.
+        rep_sizes = local_counts[rep_index]
+        rep_starts = local_ptr[rep_index]
+        ends = np.cumsum(rep_sizes)
+        begins = ends - rep_sizes
+        offsets = np.repeat(rep_starts - begins, rep_sizes)
+        final_pins = dedup_pins[np.arange(int(rep_sizes.sum()), dtype=np.int64) + offsets]
+        final_ptr = np.concatenate(([0], ends)).astype(np.int64)
+        return Hypergraph(
+            num_clusters,
+            (final_ptr, final_pins),
+            vertex_weights=weights,
+            net_costs=merged_costs,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Hypergraph(V={self.num_vertices}, E={self.num_nets}, "
+            f"pins={self.num_pins})"
+        )

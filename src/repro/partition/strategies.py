@@ -1,0 +1,278 @@
+"""Tensor partitioning strategies for the distributed HOOI.
+
+A :class:`TensorPartition` captures everything Algorithm 4 needs to know about
+the data distribution:
+
+* ``row_owner[n][i]`` — the rank that owns task ``t_i^n`` (row ``i`` of
+  ``U_n`` and of ``Y_(n)``);
+* ``nonzero_owner[t]`` — for fine-grain partitions, the rank that owns the
+  z-task of nonzero ``t``;  coarse-grain partitions derive their (replicated)
+  local tensors from the row owners instead.
+
+Four strategies reproduce the paper's four configurations:
+
+===========  =====================================================
+fine-hp      fine-grain tasks, multilevel hypergraph partitioning
+fine-rd      fine-grain tasks, uniform random assignment
+coarse-hp    coarse-grain tasks, per-mode hypergraph partitioning
+coarse-bl    coarse-grain tasks, contiguous block row assignment
+===========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.sparse_tensor import SparseTensor
+from repro.partition.hypergraph import Hypergraph
+from repro.partition.models import build_coarse_hypergraph, build_fine_hypergraph
+from repro.partition.multilevel import PartitionerOptions, partition_hypergraph
+
+__all__ = [
+    "TensorPartition",
+    "fine_random_partition",
+    "fine_hypergraph_partition",
+    "coarse_block_partition",
+    "coarse_hypergraph_partition",
+    "make_partition",
+    "PARTITION_STRATEGIES",
+]
+
+
+@dataclass
+class TensorPartition:
+    """A task distribution of a sparse tensor over ``num_parts`` ranks."""
+
+    kind: str                       # 'fine' or 'coarse'
+    strategy: str                   # e.g. 'fine-hp'
+    num_parts: int
+    row_owner: List[np.ndarray]     # one array of length I_n per mode
+    nonzero_owner: Optional[np.ndarray] = None   # (nnz,) for fine partitions
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fine", "coarse"):
+            raise ValueError("kind must be 'fine' or 'coarse'")
+        if self.kind == "fine" and self.nonzero_owner is None:
+            raise ValueError("fine partitions need nonzero_owner")
+
+    @property
+    def order(self) -> int:
+        return len(self.row_owner)
+
+    def owned_rows(self, mode: int, rank: int) -> np.ndarray:
+        """Row indices of ``mode`` owned by ``rank`` (sorted)."""
+        return np.flatnonzero(self.row_owner[mode] == rank)
+
+    def local_nonzero_positions(self, tensor: SparseTensor, rank: int) -> np.ndarray:
+        """Positions (into the tensor's nonzero list) stored by ``rank``.
+
+        Fine grain: the owned z-tasks.  Coarse grain: the union over modes of
+        the slices whose row the rank owns (which is why coarse-grain data is
+        replicated and "heavily interdependent", as the paper puts it).
+        """
+        if self.kind == "fine":
+            return np.flatnonzero(self.nonzero_owner == rank)
+        mask = np.zeros(tensor.nnz, dtype=bool)
+        for mode in range(tensor.order):
+            mask |= self.row_owner[mode][tensor.indices[:, mode]] == rank
+        return np.flatnonzero(mask)
+
+    def ttmc_nonzero_counts(self, tensor: SparseTensor, mode: int) -> np.ndarray:
+        """Per-rank number of Kronecker contributions in the mode-``mode`` TTMc.
+
+        This is the paper's ``W_TTMc``: fine-grain ranks process exactly their
+        owned nonzeros in every mode; coarse-grain ranks process every nonzero
+        of every slice they own in that mode.
+        """
+        if self.kind == "fine":
+            return np.bincount(self.nonzero_owner, minlength=self.num_parts)
+        owners = self.row_owner[mode][tensor.indices[:, mode]]
+        return np.bincount(owners, minlength=self.num_parts)
+
+    def trsvd_row_counts(self, tensor: SparseTensor, mode: int) -> np.ndarray:
+        """Per-rank number of rows multiplied in the TRSVD MxV/MTxV.
+
+        Coarse grain: the rank's owned non-empty rows.  Fine grain: the number
+        of distinct mode-``mode`` indices among its nonzeros (each yields a
+        partial row that participates in the local multiplies — the redundancy
+        the paper equates with the hypergraph cut).
+        """
+        counts = np.zeros(self.num_parts, dtype=np.int64)
+        if self.kind == "coarse":
+            nonempty = tensor.nonempty_rows(mode)
+            owners = self.row_owner[mode][nonempty]
+            counts += np.bincount(owners, minlength=self.num_parts)
+            return counts
+        idx = tensor.indices[:, mode].astype(np.int64)
+        pairs = np.unique(
+            self.nonzero_owner.astype(np.int64) * np.int64(tensor.shape[mode]) + idx
+        )
+        owners = (pairs // np.int64(tensor.shape[mode])).astype(np.int64)
+        counts += np.bincount(owners, minlength=self.num_parts)
+        return counts
+
+
+# --------------------------------------------------------------------------- #
+# Row-owner helpers
+# --------------------------------------------------------------------------- #
+def _random_row_owners(
+    tensor: SparseTensor, num_parts: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    return [
+        rng.integers(0, num_parts, size=size).astype(np.int64)
+        for size in tensor.shape
+    ]
+
+
+def _block_row_owners(tensor: SparseTensor, num_parts: int) -> List[np.ndarray]:
+    owners = []
+    for size in tensor.shape:
+        block = -(-size // num_parts)
+        owner = np.minimum(np.arange(size, dtype=np.int64) // block, num_parts - 1)
+        owners.append(owner)
+    return owners
+
+
+def _majority_row_owners(
+    tensor: SparseTensor,
+    nonzero_owner: np.ndarray,
+    num_parts: int,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Assign each row to the rank holding most of its nonzeros.
+
+    Rows with no nonzeros are dealt round-robin.  This mirrors how the
+    fine-grain hypergraph model's row (net) ownership follows the partition
+    that minimizes the cut.
+    """
+    owners: List[np.ndarray] = []
+    for mode, size in enumerate(tensor.shape):
+        idx = tensor.indices[:, mode].astype(np.int64)
+        counts = np.zeros((size, num_parts), dtype=np.int64) if size * num_parts <= 5_000_000 else None
+        owner = np.empty(size, dtype=np.int64)
+        if counts is not None:
+            np.add.at(counts, (idx, nonzero_owner), 1)
+            owner = np.argmax(counts, axis=1).astype(np.int64)
+            empty = counts.sum(axis=1) == 0
+        else:
+            # Memory-frugal path for very large mode sizes: majority via sort.
+            keys = idx * np.int64(num_parts) + nonzero_owner
+            uniq, freq = np.unique(keys, return_counts=True)
+            rows_of_pair = uniq // np.int64(num_parts)
+            parts_of_pair = uniq % np.int64(num_parts)
+            order = np.lexsort((-freq, rows_of_pair))
+            rows_sorted = rows_of_pair[order]
+            first = np.concatenate(([True], rows_sorted[1:] != rows_sorted[:-1]))
+            owner[:] = -1
+            owner[rows_sorted[first]] = parts_of_pair[order][first]
+            empty = owner < 0
+        if np.any(empty):
+            owner[empty] = rng.integers(0, num_parts, size=int(empty.sum()))
+        owners.append(owner)
+    return owners
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+def fine_random_partition(
+    tensor: SparseTensor, num_parts: int, *, seed: int = 0, **_: object
+) -> TensorPartition:
+    """The paper's ``fine-rd``: nonzeros and rows assigned uniformly at random."""
+    rng = np.random.default_rng(seed)
+    nonzero_owner = rng.integers(0, num_parts, size=tensor.nnz).astype(np.int64)
+    row_owner = _random_row_owners(tensor, num_parts, rng)
+    return TensorPartition(
+        kind="fine",
+        strategy="fine-rd",
+        num_parts=num_parts,
+        row_owner=row_owner,
+        nonzero_owner=nonzero_owner,
+    )
+
+
+def fine_hypergraph_partition(
+    tensor: SparseTensor,
+    num_parts: int,
+    *,
+    seed: int = 0,
+    ranks: Optional[Sequence[int]] = None,
+    options: Optional[PartitionerOptions] = None,
+    **_: object,
+) -> TensorPartition:
+    """The paper's ``fine-hp``: multilevel hypergraph partition of the z-tasks."""
+    rng = np.random.default_rng(seed)
+    hg, _index = build_fine_hypergraph(tensor, ranks=ranks)
+    options = options or PartitionerOptions(seed=seed)
+    nonzero_owner = partition_hypergraph(hg, num_parts, options=options)
+    row_owner = _majority_row_owners(tensor, nonzero_owner, num_parts, rng)
+    return TensorPartition(
+        kind="fine",
+        strategy="fine-hp",
+        num_parts=num_parts,
+        row_owner=row_owner,
+        nonzero_owner=nonzero_owner.astype(np.int64),
+    )
+
+
+def coarse_block_partition(
+    tensor: SparseTensor, num_parts: int, **_: object
+) -> TensorPartition:
+    """The paper's ``coarse-bl``: contiguous blocks of rows in every mode."""
+    return TensorPartition(
+        kind="coarse",
+        strategy="coarse-bl",
+        num_parts=num_parts,
+        row_owner=_block_row_owners(tensor, num_parts),
+    )
+
+
+def coarse_hypergraph_partition(
+    tensor: SparseTensor,
+    num_parts: int,
+    *,
+    seed: int = 0,
+    ranks: Optional[Sequence[int]] = None,
+    options: Optional[PartitionerOptions] = None,
+    **_: object,
+) -> TensorPartition:
+    """The paper's ``coarse-hp``: per-mode hypergraph partition of the slices."""
+    row_owner: List[np.ndarray] = []
+    for mode in range(tensor.order):
+        hg = build_coarse_hypergraph(tensor, mode, ranks=ranks)
+        mode_options = options or PartitionerOptions(seed=seed + mode)
+        row_owner.append(
+            partition_hypergraph(hg, num_parts, options=mode_options).astype(np.int64)
+        )
+    return TensorPartition(
+        kind="coarse",
+        strategy="coarse-hp",
+        num_parts=num_parts,
+        row_owner=row_owner,
+    )
+
+
+PARTITION_STRATEGIES = {
+    "fine-hp": fine_hypergraph_partition,
+    "fine-rd": fine_random_partition,
+    "coarse-hp": coarse_hypergraph_partition,
+    "coarse-bl": coarse_block_partition,
+}
+
+
+def make_partition(
+    tensor: SparseTensor, num_parts: int, strategy: str, **kwargs
+) -> TensorPartition:
+    """Build a partition by strategy name (``fine-hp``, ``fine-rd``, ``coarse-hp``,
+    ``coarse-bl``)."""
+    try:
+        factory = PARTITION_STRATEGIES[strategy]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown partition strategy {strategy!r}; expected one of "
+            f"{sorted(PARTITION_STRATEGIES)}"
+        ) from exc
+    return factory(tensor, num_parts, **kwargs)

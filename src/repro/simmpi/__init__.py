@@ -1,0 +1,22 @@
+"""Simulated MPI: SPMD communicator, collectives, statistics and machine model."""
+
+from repro.simmpi.clock import LogicalClock
+from repro.simmpi.communicator import ANY_SOURCE, ANY_TAG, CommWorld, Communicator, payload_nbytes
+from repro.simmpi.launcher import SPMDError, SPMDResult, run_spmd
+from repro.simmpi.machine import BGQ_MACHINE, MachineModel
+from repro.simmpi.stats import CommStats
+
+__all__ = [
+    "LogicalClock",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommWorld",
+    "Communicator",
+    "payload_nbytes",
+    "SPMDError",
+    "SPMDResult",
+    "run_spmd",
+    "BGQ_MACHINE",
+    "MachineModel",
+    "CommStats",
+]

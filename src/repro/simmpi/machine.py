@@ -1,0 +1,109 @@
+"""Machine performance model for the simulated cluster.
+
+The paper's strong-scaling numbers come from an IBM BlueGene/Q: nodes with a
+16-core PowerPC A2 (the paper runs 32 threads/node) connected by a 5-D torus.
+We model that platform with two ingredients:
+
+* a :class:`~repro.parallel.model.NodeModel` roofline for on-node compute
+  (latency-bound TTMc, bandwidth-bound TRSVD kernels), and
+* an α–β network model for communication: a message of ``m`` bytes costs
+  ``α + m·β`` seconds; collectives additionally pay a ``log₂ P`` latency term
+  (tree/ring algorithms).
+
+The logical clocks of the simulated ranks are advanced with times produced by
+this model; the absolute constants are documented in EXPERIMENTS.md and only
+matter up to the shape of the resulting scaling curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.parallel.model import BGQ_NODE, NodeModel, PhaseWork
+
+__all__ = ["MachineModel", "BGQ_MACHINE"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cluster model: node roofline + α–β network."""
+
+    node: NodeModel = BGQ_NODE
+    threads_per_rank: int = 32      # the paper runs 32 threads per MPI rank
+    network_latency: float = 3.0e-6     # α (seconds per message)
+    network_bandwidth: float = 1.8e9    # β⁻¹ (bytes/second per link)
+    collective_latency_factor: float = 1.0   # scales the log2(P) α term
+
+    # ------------------------------------------------------------------ #
+    # Compute
+    # ------------------------------------------------------------------ #
+    def compute_time(self, work: PhaseWork, *, threads: int | None = None) -> float:
+        """On-node time of a phase executed with the rank's thread team."""
+        return self.node.phase_time(work, threads or self.threads_per_rank)
+
+    # ------------------------------------------------------------------ #
+    # Point-to-point
+    # ------------------------------------------------------------------ #
+    def message_time(self, nbytes: int) -> float:
+        """α–β cost of one point-to-point message."""
+        return self.network_latency + max(int(nbytes), 0) / self.network_bandwidth
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+    def collective_time(self, kind: str, nbytes: int, num_ranks: int) -> float:
+        """Cost of a collective whose *per-rank contribution* is ``nbytes``.
+
+        Standard algorithm costs (Thakur et al.): binomial tree for
+        broadcast/reduce, ring / recursive doubling for the all-variants.
+        ``nbytes`` is the size of one rank's send buffer (for ``allgather`` /
+        ``alltoall`` that is the per-rank block; every rank therefore receives
+        ``(P-1) * nbytes``).
+        """
+        p = max(int(num_ranks), 1)
+        if p == 1:
+            return 0.0
+        alpha = self.network_latency * self.collective_latency_factor
+        beta = 1.0 / self.network_bandwidth
+        m = float(max(int(nbytes), 0))
+        log_p = math.log2(p)
+        if kind == "barrier":
+            return log_p * alpha
+        if kind in ("bcast", "reduce"):
+            return log_p * (alpha + m * beta)
+        if kind == "allreduce":
+            return 2.0 * log_p * alpha + 2.0 * (p - 1) / p * m * beta
+        if kind == "reduce_scatter":
+            return log_p * alpha + (p - 1) / p * m * beta
+        if kind in ("allgather", "gather", "scatter"):
+            return log_p * alpha + (p - 1) * m * beta
+        if kind == "alltoall":
+            return (p - 1) * alpha + (p - 1) * m * beta
+        raise ValueError(f"unknown collective kind {kind!r}")
+
+    def collective_volume(self, kind: str, nbytes: int, num_ranks: int) -> int:
+        """Bytes charged to each rank's communication volume for a collective."""
+        p = max(int(num_ranks), 1)
+        if p == 1:
+            return 0
+        m = int(max(int(nbytes), 0))
+        if kind == "barrier":
+            return 0
+        if kind in ("bcast", "reduce", "gather", "scatter"):
+            return m
+        if kind == "allreduce":
+            return 2 * m
+        if kind == "reduce_scatter":
+            return m
+        if kind in ("allgather", "alltoall"):
+            return (p - 1) * m
+        raise ValueError(f"unknown collective kind {kind!r}")
+
+    def with_overrides(self, **kwargs) -> "MachineModel":
+        return replace(self, **kwargs)
+
+
+#: Default machine (BlueGene/Q-like) used by the experiment harness.
+BGQ_MACHINE = MachineModel()

@@ -1,0 +1,36 @@
+"""Shared utilities: validation, timing, logging and small linear-algebra helpers.
+
+These modules are deliberately dependency-free (NumPy only) so that every
+other subpackage can use them without creating import cycles.
+"""
+
+from repro.util.validation import (
+    check_axis,
+    check_dtype_real,
+    check_positive_int,
+    check_rank_vector,
+    check_same_order,
+    check_shape_vector,
+)
+from repro.util.timing import Stopwatch, TimingBreakdown
+from repro.util.linalg import (
+    gram_leading_eigvecs,
+    normalize_columns,
+    orthonormalize,
+    random_orthonormal,
+)
+
+__all__ = [
+    "check_axis",
+    "check_dtype_real",
+    "check_positive_int",
+    "check_rank_vector",
+    "check_same_order",
+    "check_shape_vector",
+    "Stopwatch",
+    "TimingBreakdown",
+    "gram_leading_eigvecs",
+    "normalize_columns",
+    "orthonormalize",
+    "random_orthonormal",
+]

@@ -1,0 +1,90 @@
+"""Small dense linear-algebra helpers shared by the TRSVD and HOOI code."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "orthonormalize",
+    "random_orthonormal",
+    "normalize_columns",
+    "gram_leading_eigvecs",
+]
+
+
+def orthonormalize(matrix: np.ndarray) -> np.ndarray:
+    """Return an orthonormal basis for the column space of ``matrix``.
+
+    Uses a thin QR factorization; columns that are (numerically) linearly
+    dependent are replaced by random directions re-orthogonalized against the
+    basis, so the result always has exactly ``matrix.shape[1]`` orthonormal
+    columns (useful when a factor matrix loses rank during HOOI).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("orthonormalize expects a 2-D array")
+    rows, cols = matrix.shape
+    if cols > rows:
+        raise ValueError(
+            f"cannot build {cols} orthonormal columns in dimension {rows}"
+        )
+    q, r = np.linalg.qr(matrix)
+    # Detect rank deficiency from tiny diagonal entries of R.
+    diag = np.abs(np.diag(r))
+    tol = max(rows, cols) * np.finfo(np.float64).eps * (diag.max() if diag.size else 0.0)
+    deficient = np.flatnonzero(diag <= tol)
+    if deficient.size:
+        rng = np.random.default_rng(0)
+        for j in deficient:
+            v = rng.standard_normal(rows)
+            for _ in range(2):  # two rounds of classical Gram-Schmidt
+                v -= q @ (q.T @ v)
+            norm = np.linalg.norm(v)
+            if norm > 0:
+                q[:, j] = v / norm
+    return q
+
+
+def random_orthonormal(
+    rows: int, cols: int, seed: Optional[int] = None
+) -> np.ndarray:
+    """Return a ``rows x cols`` matrix with orthonormal columns (Haar-ish)."""
+    if cols > rows:
+        raise ValueError(f"cannot build {cols} orthonormal columns in dimension {rows}")
+    rng = np.random.default_rng(seed)
+    return orthonormalize(rng.standard_normal((rows, cols)))
+
+
+def normalize_columns(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Scale each column of ``matrix`` to unit 2-norm.
+
+    Returns ``(normalized, norms)``; zero columns are left untouched and get a
+    reported norm of 1 to keep downstream divisions safe (the CP-ALS baseline
+    relies on this convention).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=0)
+    safe = np.where(norms > 0, norms, 1.0)
+    return matrix / safe, np.where(norms > 0, norms, 1.0)
+
+
+def gram_leading_eigvecs(matrix: np.ndarray, rank: int) -> np.ndarray:
+    """Leading left singular vectors of ``matrix`` via the Gram matrix.
+
+    This is the dense-Tucker approach the paper contrasts against (forming
+    ``Y Yᵀ`` and taking its eigenvectors); it is exposed both as a correctness
+    oracle in the tests and as part of the dense-HOOI baseline.  Only suitable
+    when ``matrix.shape[0]`` is modest.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    rank = min(rank, matrix.shape[0])
+    gram = matrix @ matrix.T
+    # eigh returns ascending eigenvalues; take the trailing `rank` columns.
+    _, vecs = np.linalg.eigh(gram)
+    lead = vecs[:, ::-1][:, :rank]
+    return np.ascontiguousarray(lead)

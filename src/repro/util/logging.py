@@ -1,0 +1,38 @@
+"""Minimal logging configuration for the library.
+
+The library never configures the root logger; it only provides a helper to
+fetch namespaced loggers and an opt-in convenience to attach a stderr handler
+when scripts (examples, benchmarks) want progress output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_LIBRARY_ROOT = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root."""
+    if name.startswith(_LIBRARY_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_ROOT}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a simple stderr handler to the library's root logger.
+
+    Calling this twice is safe; the handler is only added once.
+    """
+    root = logging.getLogger(_LIBRARY_ROOT)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+    return root

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SparseTensor
+from repro.util.linalg import random_orthonormal
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def _random_tensor(shape, nnz, seed) -> SparseTensor:
+    gen = np.random.default_rng(seed)
+    indices = np.column_stack(
+        [gen.integers(0, s, size=nnz, dtype=np.int64) for s in shape]
+    )
+    values = gen.standard_normal(nnz)
+    return SparseTensor(indices, values, shape, sum_duplicates=True)
+
+
+@pytest.fixture
+def small_tensor_3d() -> SparseTensor:
+    """A 3-mode sparse tensor small enough to densify in every test."""
+    return _random_tensor((20, 15, 12), 300, seed=7)
+
+
+@pytest.fixture
+def small_tensor_4d() -> SparseTensor:
+    """A 4-mode sparse tensor small enough to densify in every test."""
+    return _random_tensor((10, 9, 8, 7), 250, seed=11)
+
+
+@pytest.fixture
+def medium_tensor_3d() -> SparseTensor:
+    """A 3-mode tensor used by the parallel / distributed integration tests."""
+    return _random_tensor((60, 50, 40), 4000, seed=23)
+
+
+@pytest.fixture
+def factors_3d(small_tensor_3d) -> list:
+    """Orthonormal factor matrices matching ``small_tensor_3d`` (ranks 5,4,3)."""
+    ranks = (5, 4, 3)
+    return [
+        random_orthonormal(size, rank, seed=100 + i)
+        for i, (size, rank) in enumerate(zip(small_tensor_3d.shape, ranks))
+    ]
+
+
+@pytest.fixture
+def factors_4d(small_tensor_4d) -> list:
+    ranks = (3, 3, 2, 2)
+    return [
+        random_orthonormal(size, rank, seed=200 + i)
+        for i, (size, rank) in enumerate(zip(small_tensor_4d.shape, ranks))
+    ]

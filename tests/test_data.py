@@ -1,0 +1,163 @@
+"""Tests for the synthetic data generators, dataset analogs and .tns IO."""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseTensor
+from repro.data import (
+    PAPER_DATASETS,
+    dataset_table,
+    make_dataset,
+    planted_lowrank_tensor,
+    power_law_sparse_tensor,
+    random_sparse_tensor,
+    random_tucker_tensor,
+    read_tns,
+    write_tns,
+    zipf_indices,
+)
+
+
+class TestRandomSparse:
+    def test_shape_and_nnz(self):
+        t = random_sparse_tensor((50, 40, 30), 1000, seed=0)
+        assert t.shape == (50, 40, 30)
+        assert 0 < t.nnz <= 1000     # duplicates merged
+
+    def test_deterministic(self):
+        a = random_sparse_tensor((20, 20), 200, seed=3)
+        b = random_sparse_tensor((20, 20), 200, seed=3)
+        assert a.allclose(b)
+
+    def test_value_distributions(self):
+        # Values of duplicate coordinates are summed, so "ones" yields
+        # positive integers and "uniform" yields non-negative values.
+        ones = random_sparse_tensor((30, 30), 100, seed=0, value_distribution="ones")
+        assert np.all(ones.values >= 1.0)
+        assert np.allclose(ones.values, np.round(ones.values))
+        uniform = random_sparse_tensor((30, 30), 100, seed=0, value_distribution="uniform")
+        assert np.all(uniform.values >= 0)
+        with pytest.raises(ValueError):
+            random_sparse_tensor((30, 30), 100, value_distribution="cauchy")
+
+
+class TestPowerLaw:
+    def test_zipf_indices_range_and_skew(self, rng):
+        idx = zipf_indices(1000, 20000, 1.1, rng)
+        assert idx.min() >= 0 and idx.max() < 1000
+        counts = np.bincount(idx, minlength=1000)
+        top_share = np.sort(counts)[::-1][:10].sum() / counts.sum()
+        assert top_share > 0.2     # heavily skewed head
+
+    def test_zipf_zero_exponent_uniform(self, rng):
+        idx = zipf_indices(100, 50000, 0.0, rng)
+        counts = np.bincount(idx, minlength=100)
+        assert counts.max() / counts.mean() < 1.5
+
+    def test_zipf_invalid_size(self, rng):
+        with pytest.raises(ValueError):
+            zipf_indices(0, 10, 1.0, rng)
+
+    def test_power_law_tensor_skewed_slices(self):
+        t = power_law_sparse_tensor((500, 400, 300), 20000, exponents=1.0, seed=0)
+        counts = t.mode_counts(0)
+        assert counts.max() > 5 * max(counts.mean(), 1)
+
+    def test_exponent_broadcast_and_mismatch(self):
+        power_law_sparse_tensor((30, 30), 500, exponents=0.5, seed=0)
+        with pytest.raises(ValueError):
+            power_law_sparse_tensor((30, 30), 500, exponents=[0.5, 0.5, 0.5])
+
+
+class TestDatasets:
+    def test_all_specs_present(self):
+        assert set(PAPER_DATASETS) == {"netflix", "nell", "delicious", "flickr"}
+
+    def test_paper_orders(self):
+        assert PAPER_DATASETS["netflix"].order == 3
+        assert PAPER_DATASETS["delicious"].order == 4
+
+    def test_make_dataset_scales(self):
+        t = make_dataset("nell", scale=2e-4, seed=0)
+        spec = PAPER_DATASETS["nell"]
+        assert t.order == spec.order
+        assert t.nnz <= spec.scaled_nnz(2e-4)
+        for size, full in zip(t.shape, spec.shape):
+            assert size <= max(int(full * 2e-4) + 1, 8)
+
+    def test_make_dataset_deterministic(self):
+        a = make_dataset("netflix", scale=2e-4, seed=1)
+        b = make_dataset("netflix", scale=2e-4, seed=1)
+        assert a.allclose(b)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            make_dataset("movielens")
+
+    def test_dataset_table_contents(self):
+        rows = dataset_table(scale=1e-3)
+        assert set(rows) == {"Netflix", "NELL", "Delicious", "Flickr"}
+        assert rows["Flickr"]["paper_nnz"] == 112_000_000
+
+
+class TestLowRank:
+    def test_random_tucker_orthonormal_factors(self):
+        t = random_tucker_tensor((10, 9, 8), (3, 2, 2), seed=0)
+        for f in t.factors:
+            assert np.allclose(f.T @ f, np.eye(f.shape[1]), atol=1e-10)
+
+    def test_planted_values_match_truth(self):
+        observed, truth = planted_lowrank_tensor((20, 15, 10), 3, 500, seed=0)
+        expected = truth.reconstruct_entries(observed.indices)
+        assert np.allclose(observed.values, expected)
+
+    def test_planted_with_noise_differs(self):
+        observed, truth = planted_lowrank_tensor((20, 15, 10), 3, 500, noise=0.5, seed=0)
+        expected = truth.reconstruct_entries(observed.indices)
+        assert not np.allclose(observed.values, expected)
+
+    def test_planted_coordinates_unique(self):
+        observed, _ = planted_lowrank_tensor((15, 15, 15), 2, 2000, seed=1)
+        assert len(np.unique(observed.linear_indices())) == observed.nnz
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, small_tensor_3d):
+        path = tmp_path / "tensor.tns"
+        write_tns(small_tensor_3d, path)
+        back = read_tns(path)
+        assert back.shape == small_tensor_3d.shape
+        assert back.allclose(small_tensor_3d)
+
+    def test_roundtrip_without_header(self, tmp_path, small_tensor_3d):
+        path = tmp_path / "tensor.tns"
+        write_tns(small_tensor_3d, path, header=False)
+        back = read_tns(path, shape=small_tensor_3d.shape)
+        assert back.allclose(small_tensor_3d)
+
+    def test_shape_inference_from_indices(self, tmp_path):
+        path = tmp_path / "small.tns"
+        path.write_text("1 1 2 3.5\n2 3 1 -1.0\n")
+        t = read_tns(path)
+        assert t.shape == (2, 3, 2)
+        assert t.nnz == 2
+        assert np.isclose(t.to_dense()[0, 0, 1], 3.5)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.tns"
+        path.write_text("# a comment\n\n1 1 1.0\n")
+        assert read_tns(path).nnz == 1
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("42\n")
+        with pytest.raises(ValueError):
+            read_tns(path)
+
+    def test_empty_file_needs_shape(self, tmp_path):
+        path = tmp_path / "empty.tns"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_tns(path)
+        t = read_tns(path, shape=(3, 3))
+        assert t.nnz == 0

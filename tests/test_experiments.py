@@ -1,0 +1,165 @@
+"""Tests for the experiment harness (Tables I-V and the MET comparison).
+
+These run the table generators at a very small scale / rank count so the whole
+suite stays fast; the benchmarks regenerate the tables at the full default
+scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DATASET_ORDER,
+    STRATEGIES,
+    ExperimentContext,
+    format_float,
+    format_table,
+    paper_ranks,
+    render_met_comparison,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    run_met_comparison,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.calibration import scaled_machine, scaled_node
+
+
+@pytest.fixture(scope="module")
+def context():
+    # A deliberately tiny scale so every test finishes quickly.
+    return ExperimentContext(scale=5e-5, seed=0)
+
+
+class TestHarness:
+    def test_context_caches_tensors_and_partitions(self, context):
+        a = context.tensor("nell")
+        b = context.tensor("nell")
+        assert a is b
+        p1 = context.partition("nell", "fine-rd", 2)
+        p2 = context.partition("nell", "fine-rd", 2)
+        assert p1 is p2
+
+    def test_paper_ranks(self):
+        assert paper_ranks(3) == (10, 10, 10)
+        assert paper_ranks(4) == (5, 5, 5, 5)
+
+    def test_format_float(self):
+        assert format_float(0) == "0"
+        assert format_float(2_500_000).endswith("M")
+        assert format_float(25_000).endswith("K")
+        assert format_float(0.1234) == "0.1234"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [["x", 1.0], ["yy", 22.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_scaled_models(self):
+        node = scaled_node(1e-3)
+        assert node.flops_per_core < 1e7
+        machine = scaled_machine(1e-3)
+        assert machine.network_bandwidth < 1e7
+
+
+class TestTable1:
+    def test_rows_and_rendering(self, context):
+        rows = run_table1(context)
+        assert [r["dataset"] for r in rows] == ["Delicious", "Flickr", "NELL", "Netflix"]
+        for row in rows:
+            assert row["analog_nnz"] > 0
+            assert len(row["analog_shape"]) == len(row["paper_shape"])
+        text = render_table1(rows)
+        assert "Netflix" in text and "Analog" in text
+
+
+class TestTable2:
+    def test_structure_and_monotonicity(self, context):
+        result = run_table2(
+            context, datasets=("nell",), strategies=("fine-hp", "fine-rd"),
+            node_counts=(2, 8),
+        )
+        assert set(result) == {"nell"}
+        assert set(result["nell"]) == {"fine-hp", "fine-rd"}
+        for strategy in ("fine-hp", "fine-rd"):
+            times = result["nell"][strategy]
+            assert times[8] < times[2]        # strong scaling at small P
+            assert all(t > 0 for t in times.values())
+        text = render_table2(result)
+        assert "nell" in text
+
+    def test_single_rank_equal_across_strategies(self, context):
+        result = run_table2(
+            context, datasets=("netflix",), strategies=STRATEGIES, node_counts=(1,),
+        )
+        values = [result["netflix"][s][1] for s in STRATEGIES]
+        assert np.allclose(values, values[0])
+
+
+class TestTable3:
+    def test_statistics_shape_and_invariants(self, context):
+        result = run_table3(context, dataset="nell", num_parts=4,
+                            strategies=("fine-hp", "fine-rd", "coarse-bl"))
+        tensor = context.tensor("nell")
+        for strategy, rows in result.items():
+            assert len(rows) == tensor.order
+            for row in rows:
+                assert row["wttmc_max"] >= row["wttmc_avg"] > 0
+                assert row["wtrsvd_max"] >= row["wtrsvd_avg"]
+                assert row["comm_max"] >= row["comm_avg"] >= 0
+        # Fine-grain TTMc work is the same in every mode (one task per nonzero).
+        fine = result["fine-hp"]
+        assert len({row["wttmc_avg"] for row in fine}) == 1
+        text = render_table3(result, dataset="nell", num_parts=4)
+        assert "fine-rd" in text
+
+    def test_fine_hp_comm_not_worse_than_fine_rd(self, context):
+        result = run_table3(context, dataset="flickr", num_parts=4,
+                            strategies=("fine-hp", "fine-rd"))
+        hp_total = sum(row["comm_avg"] for row in result["fine-hp"])
+        rd_total = sum(row["comm_avg"] for row in result["fine-rd"])
+        assert hp_total <= rd_total
+
+
+class TestTable4:
+    def test_percentages_sum_to_100(self, context):
+        result = run_table4(context, datasets=("nell",), num_parts=2, iterations=1)
+        shares = result["nell"]
+        assert abs(sum(shares.values()) - 100.0) < 1e-6
+        assert shares["core+comm"] < 50.0
+        text = render_table4(result)
+        assert "TTMC" in text
+
+
+class TestTable5:
+    def test_modelled_speedup_monotonic(self, context):
+        result = run_table5(context, datasets=("nell",), thread_counts=(1, 2, 8, 32),
+                            measure=False)
+        modelled = result["nell"]["modelled"]
+        assert modelled[32] <= modelled[8] <= modelled[2] <= modelled[1]
+        text = render_table5(result)
+        assert "speedup" in text.lower()
+
+    def test_measured_path_runs(self, context):
+        result = run_table5(context, datasets=("netflix",), thread_counts=(1, 2),
+                            measure=True, measured_thread_counts=(1,), iterations=1)
+        assert 1 in result["netflix"]["measured"]
+        assert result["netflix"]["measured"][1] > 0
+
+
+class TestMetComparison:
+    def test_runs_and_is_consistent(self):
+        result = run_met_comparison(shape=(120, 120, 120), nnz=4000, ranks=5,
+                                    iterations=2, seed=0)
+        assert result.fits_match
+        assert result.hypertensor_seconds > 0
+        assert result.met_seconds > 0
+        text = render_met_comparison(result)
+        assert "MET" in text and "Speedup" in text

@@ -1,0 +1,202 @@
+"""Tests for the hypergraph data structure, metrics and the multilevel partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    Hypergraph,
+    PartitionerOptions,
+    connectivity_cutsize,
+    cut_nets,
+    evaluate_partition,
+    load_imbalance,
+    max_avg,
+    multilevel_bisect,
+    part_weights,
+    partition_hypergraph,
+)
+
+
+def simple_hypergraph():
+    """Two well-separated clusters {0,1,2} and {3,4,5} joined by one net."""
+    nets = [
+        [0, 1], [1, 2], [0, 2],      # cluster A
+        [3, 4], [4, 5], [3, 5],      # cluster B
+        [2, 3],                      # bridge
+    ]
+    return Hypergraph(6, nets)
+
+
+class TestHypergraph:
+    def test_basic_counts(self):
+        hg = simple_hypergraph()
+        assert hg.num_vertices == 6
+        assert hg.num_nets == 7
+        assert hg.num_pins == 14
+
+    def test_net_access(self):
+        hg = simple_hypergraph()
+        assert set(hg.net(6)) == {2, 3}
+        assert np.array_equal(hg.net_sizes(), np.full(7, 2))
+
+    def test_vertex_adjacency(self):
+        hg = simple_hypergraph()
+        assert set(hg.nets_of_vertex(2)) == {1, 2, 6}
+        assert hg.vertex_degrees()[2] == 3
+
+    def test_default_weights_and_costs(self):
+        hg = simple_hypergraph()
+        assert hg.total_vertex_weight == 6
+        assert np.all(hg.net_costs == 1)
+
+    def test_custom_weights(self):
+        hg = Hypergraph(3, [[0, 1], [1, 2]], vertex_weights=np.array([5, 1, 1]),
+                        net_costs=np.array([2, 7]))
+        assert hg.total_vertex_weight == 7
+        assert hg.net_costs[1] == 7
+
+    def test_csr_constructor(self):
+        ptr = np.array([0, 2, 4])
+        pins = np.array([0, 1, 1, 2])
+        hg = Hypergraph(3, (ptr, pins))
+        assert hg.num_nets == 2
+        assert set(hg.net(1)) == {1, 2}
+
+    def test_invalid_pin_raises(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, [[0, 5]])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Hypergraph(3, [[0, 1]], vertex_weights=np.ones(2, dtype=int))
+
+    def test_restrict_to_vertices(self):
+        hg = simple_hypergraph()
+        sub, ids = hg.restrict_to_vertices(np.array([0, 1, 2]))
+        assert sub.num_vertices == 3
+        # The bridge net and cluster-B nets disappear (fewer than 2 pins).
+        assert sub.num_nets == 3
+
+    def test_contract_merges_and_drops(self):
+        hg = simple_hypergraph()
+        clusters = np.array([0, 0, 0, 1, 1, 1])
+        coarse = hg.contract(clusters)
+        assert coarse.num_vertices == 2
+        # Intra-cluster nets collapse to single pins and disappear; only the
+        # bridge net remains connecting the two coarse vertices.
+        assert coarse.num_nets == 1
+        assert coarse.total_vertex_weight == 6
+
+    def test_contract_merges_identical_nets_costs(self):
+        hg = Hypergraph(4, [[0, 1], [2, 3], [0, 1]], net_costs=np.array([1, 1, 3]))
+        coarse = hg.contract(np.array([0, 1, 2, 3]))  # identity contraction
+        # The two identical nets {0,1} merge with cost 4.
+        assert coarse.num_nets == 2
+        assert sorted(coarse.net_costs.tolist()) == [1, 4]
+
+
+class TestMetrics:
+    def test_part_weights(self):
+        hg = simple_hypergraph()
+        parts = np.array([0, 0, 0, 1, 1, 1])
+        assert np.array_equal(part_weights(hg, parts, 2), [3, 3])
+
+    def test_cutsize_of_clean_split(self):
+        hg = simple_hypergraph()
+        parts = np.array([0, 0, 0, 1, 1, 1])
+        assert connectivity_cutsize(hg, parts, 2) == 1   # only the bridge net
+        assert cut_nets(hg, parts, 2) == 1
+
+    def test_cutsize_all_in_one_part(self):
+        hg = simple_hypergraph()
+        assert connectivity_cutsize(hg, np.zeros(6, dtype=int), 2) == 0
+
+    def test_connectivity_minus_one_counts_extra_parts(self):
+        hg = Hypergraph(3, [[0, 1, 2]])
+        assert connectivity_cutsize(hg, np.array([0, 1, 2]), 3) == 2
+
+    def test_net_costs_scale_cut(self):
+        hg = Hypergraph(2, [[0, 1]], net_costs=np.array([5]))
+        assert connectivity_cutsize(hg, np.array([0, 1]), 2) == 5
+
+    def test_load_imbalance(self):
+        assert load_imbalance(np.array([2, 2, 2])) == 0.0
+        assert np.isclose(load_imbalance(np.array([4, 2, 0])), 1.0)
+
+    def test_max_avg(self):
+        mx, avg = max_avg(np.array([1.0, 3.0]))
+        assert mx == 3.0 and avg == 2.0
+
+    def test_evaluate_partition_validation(self):
+        hg = simple_hypergraph()
+        with pytest.raises(ValueError):
+            evaluate_partition(hg, np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError):
+            evaluate_partition(hg, np.full(6, 9), 2)
+
+
+class TestMultilevel:
+    def test_bisect_finds_natural_split(self):
+        hg = simple_hypergraph()
+        parts = multilevel_bisect(hg, options=PartitionerOptions(seed=1))
+        assert connectivity_cutsize(hg, parts, 2) == 1
+        assert len(set(parts[:3])) == 1 and len(set(parts[3:])) == 1
+
+    def test_kway_partition_valid(self, rng):
+        nets = [rng.choice(200, size=rng.integers(2, 6), replace=False)
+                for _ in range(300)]
+        hg = Hypergraph(200, nets)
+        parts = partition_hypergraph(hg, 8, options=PartitionerOptions(seed=0))
+        assert parts.shape == (200,)
+        assert set(np.unique(parts)) <= set(range(8))
+        quality = evaluate_partition(hg, parts, 8)
+        assert quality.imbalance < 0.25
+
+    def test_kway_beats_random_cut(self, rng):
+        # Planted block structure: 8 groups of 40 vertices with dense
+        # intra-group nets and sparse inter-group nets.
+        groups = 8
+        per = 40
+        nets = []
+        for g in range(groups):
+            base = g * per
+            for _ in range(120):
+                nets.append(base + rng.choice(per, size=3, replace=False))
+        for _ in range(40):
+            nets.append(rng.choice(groups * per, size=3, replace=False))
+        hg = Hypergraph(groups * per, nets)
+        parts = partition_hypergraph(hg, groups, options=PartitionerOptions(seed=0))
+        random_parts = rng.integers(0, groups, groups * per)
+        ours = connectivity_cutsize(hg, parts, groups)
+        theirs = connectivity_cutsize(hg, random_parts, groups)
+        assert ours < theirs / 3
+
+    def test_non_power_of_two_parts(self, rng):
+        nets = [rng.choice(60, size=3, replace=False) for _ in range(100)]
+        hg = Hypergraph(60, nets)
+        parts = partition_hypergraph(hg, 5, options=PartitionerOptions(seed=0))
+        assert set(np.unique(parts)) == set(range(5))
+        assert evaluate_partition(hg, parts, 5).imbalance < 0.35
+
+    def test_single_part(self):
+        hg = simple_hypergraph()
+        assert np.all(partition_hypergraph(hg, 1) == 0)
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            partition_hypergraph(simple_hypergraph(), 0)
+
+    def test_deterministic_with_seed(self, rng):
+        nets = [rng.choice(80, size=3, replace=False) for _ in range(150)]
+        hg = Hypergraph(80, nets)
+        a = partition_hypergraph(hg, 4, options=PartitionerOptions(seed=7))
+        b = partition_hypergraph(hg, 4, options=PartitionerOptions(seed=7))
+        assert np.array_equal(a, b)
+
+    def test_weighted_vertices_balance(self, rng):
+        weights = rng.integers(1, 20, size=100).astype(np.int64)
+        nets = [rng.choice(100, size=3, replace=False) for _ in range(200)]
+        hg = Hypergraph(100, nets, vertex_weights=weights)
+        parts = partition_hypergraph(hg, 4, options=PartitionerOptions(seed=0))
+        w = part_weights(hg, parts, 4)
+        assert load_imbalance(w) < 0.4

@@ -1,0 +1,195 @@
+"""Tests for the shared-memory parallel layer (parallel_for, parallel TTMc, Alg. 3)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import HOOIOptions, hooi, symbolic_ttmc, ttmc_matricized
+from repro.parallel import (
+    BGQ_NODE,
+    ChunkSchedule,
+    NodeModel,
+    ParallelConfig,
+    PhaseWork,
+    core_phase_work,
+    kron_width,
+    make_chunks,
+    parallel_for,
+    parallel_ttmc_matricized,
+    predict_iteration_time,
+    shared_hooi,
+    trsvd_phase_work,
+    ttmc_phase_work,
+    ttmc_row_block,
+)
+
+
+class TestChunks:
+    def test_static_covers_all_items(self):
+        sched = make_chunks(100, 4, schedule="static")
+        covered = sorted(i for start, stop in sched for i in range(start, stop))
+        assert covered == list(range(100))
+
+    def test_dynamic_chunk_size_respected(self):
+        sched = make_chunks(100, 4, schedule="dynamic", chunk_size=10)
+        assert all(stop - start <= 10 for start, stop in sched)
+        assert len(sched) == 10
+
+    def test_guided_decreasing_sizes(self):
+        sched = make_chunks(1000, 4, schedule="guided")
+        sizes = [stop - start for start, stop in sched]
+        assert sizes[0] >= sizes[-1]
+        assert sum(sizes) == 1000
+
+    def test_empty(self):
+        assert len(make_chunks(0, 4)) == 0
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            make_chunks(10, 2, schedule="bogus")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(num_threads=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(schedule="???")
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk_size=0)
+
+
+class TestParallelFor:
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "guided"])
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_every_item_processed_once(self, schedule, threads):
+        seen = np.zeros(500, dtype=np.int64)
+        lock = threading.Lock()
+
+        def body(start, stop):
+            with lock:
+                seen[start:stop] += 1
+
+        parallel_for(body, 500, ParallelConfig(num_threads=threads, schedule=schedule))
+        assert np.all(seen == 1)
+
+    def test_exception_propagates(self):
+        def body(start, stop):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            parallel_for(body, 10, ParallelConfig(num_threads=2))
+
+    def test_zero_items_is_noop(self):
+        parallel_for(lambda a, b: pytest.fail("should not run"), 0, ParallelConfig())
+
+
+class TestParallelTTMc:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    def test_matches_sequential(self, medium_tensor_3d, threads, schedule, rng):
+        factors = [
+            np.linalg.qr(rng.standard_normal((s, 4)))[0]
+            for s in medium_tensor_3d.shape
+        ]
+        for mode in range(3):
+            expected = ttmc_matricized(medium_tensor_3d, factors, mode)
+            actual = parallel_ttmc_matricized(
+                medium_tensor_3d, factors, mode,
+                config=ParallelConfig(num_threads=threads, schedule=schedule),
+            )
+            assert np.allclose(actual, expected)
+
+    def test_row_block_matches_full(self, small_tensor_3d, factors_3d):
+        mode = 1
+        sym = symbolic_ttmc(small_tensor_3d, mode)
+        full = ttmc_matricized(small_tensor_3d, factors_3d, mode, symbolic=sym)
+        positions = np.arange(sym.num_rows)[::3]
+        block = ttmc_row_block(small_tensor_3d, factors_3d, mode, sym, positions)
+        assert np.allclose(block, full[sym.rows[positions]])
+
+    def test_row_block_empty_positions(self, small_tensor_3d, factors_3d):
+        sym = symbolic_ttmc(small_tensor_3d, 0)
+        block = ttmc_row_block(
+            small_tensor_3d, factors_3d, 0, sym, np.empty(0, dtype=np.int64)
+        )
+        assert block.shape[0] == 0
+
+    def test_out_buffer(self, small_tensor_3d, factors_3d):
+        width = factors_3d[1].shape[1] * factors_3d[2].shape[1]
+        out = np.zeros((small_tensor_3d.shape[0], width))
+        result = parallel_ttmc_matricized(
+            small_tensor_3d, factors_3d, 0, out=out,
+            config=ParallelConfig(num_threads=2),
+        )
+        assert result is out
+
+
+class TestSharedHOOI:
+    def test_matches_sequential_fit(self, medium_tensor_3d):
+        opts = HOOIOptions(max_iterations=3, init="hosvd", seed=0)
+        seq = hooi(medium_tensor_3d, 5, opts)
+        par = shared_hooi(medium_tensor_3d, 5, opts, config=ParallelConfig(num_threads=3))
+        assert np.allclose(seq.fit_history, par.result.fit_history, atol=1e-9)
+
+    def test_report_contains_timings(self, small_tensor_3d):
+        report = shared_hooi(small_tensor_3d, 3,
+                             HOOIOptions(max_iterations=2),
+                             config=ParallelConfig(num_threads=2))
+        assert report.measured_seconds_per_iteration > 0
+        assert report.modelled_seconds_per_iteration > 0
+        assert report.num_threads == 2
+
+
+class TestNodeModel:
+    def test_more_threads_never_slower(self):
+        work = PhaseWork(flops=1e9, random_accesses=1e6, streamed_bytes=1e8)
+        times = [BGQ_NODE.phase_time(work, t) for t in (1, 2, 4, 8, 16, 32)]
+        assert all(b <= a + 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_latency_scales_past_core_count(self):
+        model = NodeModel(cores=4, smt=2)
+        work = PhaseWork(random_accesses=1e6)
+        assert model.phase_time(work, 8) < model.phase_time(work, 4)
+        # but not past cores * smt
+        assert np.isclose(model.phase_time(work, 8), model.phase_time(work, 16))
+
+    def test_bandwidth_saturates(self):
+        model = NodeModel(cores=16)
+        work = PhaseWork(streamed_bytes=1e9)
+        assert np.isclose(model.phase_time(work, 8), model.phase_time(work, 32))
+
+    def test_breakdown_keys(self):
+        parts = BGQ_NODE.breakdown(PhaseWork(flops=1.0), 2)
+        assert set(parts) == {"compute", "latency", "bandwidth"}
+
+    def test_phasework_add_and_scale(self):
+        a = PhaseWork(flops=1, random_accesses=2, streamed_bytes=3)
+        b = a + a
+        assert b.flops == 2 and b.streamed_bytes == 6
+        assert a.scaled(2.0).random_accesses == 4
+
+
+class TestWorkCounts:
+    def test_kron_width(self):
+        assert kron_width((10, 10, 10), 0) == 100
+        assert kron_width((5, 5, 5, 5), 3) == 125
+
+    def test_ttmc_work_scales_with_nnz(self):
+        a = ttmc_phase_work(100, 3, (10, 10, 10), 0)
+        b = ttmc_phase_work(200, 3, (10, 10, 10), 0)
+        assert np.isclose(b.flops, 2 * a.flops)
+        assert np.isclose(b.random_accesses, 2 * a.random_accesses)
+
+    def test_trsvd_work_scales_with_rows(self):
+        a = trsvd_phase_work(100, (10, 10, 10), 0)
+        b = trsvd_phase_work(300, (10, 10, 10), 0)
+        assert np.isclose(b.flops, 3 * a.flops)
+
+    def test_core_work_positive(self):
+        work = core_phase_work(1000, (10, 10, 10))
+        assert work.flops > 0 and work.streamed_bytes > 0
+
+    def test_predicted_time_decreases_with_threads(self, medium_tensor_3d):
+        t1 = predict_iteration_time(medium_tensor_3d, 5, 1)
+        t8 = predict_iteration_time(medium_tensor_3d, 5, 8)
+        assert t8 < t1

@@ -1,0 +1,168 @@
+"""Tests for the tensor hypergraph models and the partitioning strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseTensor
+from repro.data import power_law_sparse_tensor, random_sparse_tensor
+from repro.partition import (
+    PartitionerOptions,
+    TensorPartition,
+    build_coarse_hypergraph,
+    build_fine_hypergraph,
+    connectivity_cutsize,
+    make_partition,
+)
+
+
+@pytest.fixture
+def skewed_tensor():
+    return power_law_sparse_tensor((80, 60, 120), 4000, exponents=0.9, seed=3)
+
+
+class TestFineModel:
+    def test_vertex_per_nonzero(self, skewed_tensor):
+        hg, index = build_fine_hypergraph(skewed_tensor)
+        assert hg.num_vertices == skewed_tensor.nnz
+        assert np.all(hg.vertex_weights == 1)
+
+    def test_one_net_per_nonempty_index(self, skewed_tensor):
+        hg, index = build_fine_hypergraph(skewed_tensor)
+        expected = sum(
+            len(skewed_tensor.nonempty_rows(m)) for m in range(skewed_tensor.order)
+        )
+        assert hg.num_nets == expected
+
+    def test_pins_count(self, skewed_tensor):
+        hg, _ = build_fine_hypergraph(skewed_tensor)
+        assert hg.num_pins == skewed_tensor.nnz * skewed_tensor.order
+
+    def test_net_pins_share_index(self, skewed_tensor):
+        hg, index = build_fine_hypergraph(skewed_tensor)
+        for net_id in (0, hg.num_nets // 2, hg.num_nets - 1):
+            mode = int(index.net_mode[net_id])
+            row = int(index.net_index[net_id])
+            pins = hg.net(net_id)
+            assert np.all(skewed_tensor.indices[pins, mode] == row)
+
+    def test_rank_costs(self, skewed_tensor):
+        hg, index = build_fine_hypergraph(skewed_tensor, ranks=(2, 3, 4))
+        for net_id in (0, hg.num_nets - 1):
+            mode = int(index.net_mode[net_id])
+            assert hg.net_costs[net_id] == (2, 3, 4)[mode]
+
+    def test_empty_tensor(self):
+        hg, index = build_fine_hypergraph(SparseTensor.empty((4, 4)))
+        assert hg.num_vertices == 0 and hg.num_nets == 0
+
+
+class TestCoarseModel:
+    def test_vertex_per_index(self, skewed_tensor):
+        for mode in range(3):
+            hg = build_coarse_hypergraph(skewed_tensor, mode)
+            assert hg.num_vertices == skewed_tensor.shape[mode]
+
+    def test_vertex_weights_are_slice_sizes(self, skewed_tensor):
+        hg = build_coarse_hypergraph(skewed_tensor, 0)
+        assert np.array_equal(hg.vertex_weights, skewed_tensor.mode_counts(0))
+
+    def test_net_pins_are_cooccurring_slices(self, skewed_tensor):
+        hg = build_coarse_hypergraph(skewed_tensor, 0)
+        # every net's pins must be distinct mode-0 indices
+        for net_id in range(0, hg.num_nets, max(hg.num_nets // 10, 1)):
+            pins = hg.net(net_id)
+            assert len(set(pins.tolist())) == len(pins)
+            assert len(pins) >= 2
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["fine-hp", "fine-rd", "coarse-hp", "coarse-bl"])
+    def test_partition_structure(self, skewed_tensor, strategy):
+        part = make_partition(skewed_tensor, 4, strategy, seed=0)
+        assert isinstance(part, TensorPartition)
+        assert part.num_parts == 4
+        assert part.strategy == strategy
+        assert len(part.row_owner) == 3
+        for mode, owner in enumerate(part.row_owner):
+            assert owner.shape == (skewed_tensor.shape[mode],)
+            assert owner.min() >= 0 and owner.max() < 4
+        if part.kind == "fine":
+            assert part.nonzero_owner.shape == (skewed_tensor.nnz,)
+
+    def test_unknown_strategy(self, skewed_tensor):
+        with pytest.raises(ValueError):
+            make_partition(skewed_tensor, 4, "medium-grain")
+
+    def test_fine_local_nonzeros_partition_exactly(self, skewed_tensor):
+        part = make_partition(skewed_tensor, 4, "fine-rd", seed=1)
+        union = np.concatenate(
+            [part.local_nonzero_positions(skewed_tensor, r) for r in range(4)]
+        )
+        assert sorted(union.tolist()) == list(range(skewed_tensor.nnz))
+
+    def test_coarse_local_nonzeros_cover_with_replication(self, skewed_tensor):
+        part = make_partition(skewed_tensor, 4, "coarse-bl")
+        union = np.concatenate(
+            [part.local_nonzero_positions(skewed_tensor, r) for r in range(4)]
+        )
+        # Every nonzero is stored somewhere, possibly multiple times.
+        assert set(union.tolist()) == set(range(skewed_tensor.nnz))
+        assert union.shape[0] >= skewed_tensor.nnz
+
+    def test_coarse_owner_has_whole_slices(self, skewed_tensor):
+        part = make_partition(skewed_tensor, 4, "coarse-hp", seed=0)
+        mode = 0
+        rank = 2
+        owned = part.owned_rows(mode, rank)
+        local = part.local_nonzero_positions(skewed_tensor, rank)
+        local_idx = skewed_tensor.indices[local, mode]
+        # Every nonzero of an owned slice is present locally.
+        in_owned = np.isin(skewed_tensor.indices[:, mode], owned)
+        assert np.isin(np.flatnonzero(in_owned), local).all()
+
+    def test_ttmc_counts_sum(self, skewed_tensor):
+        fine = make_partition(skewed_tensor, 4, "fine-rd", seed=0)
+        counts = fine.ttmc_nonzero_counts(skewed_tensor, 0)
+        assert counts.sum() == skewed_tensor.nnz
+        coarse = make_partition(skewed_tensor, 4, "coarse-bl")
+        ccounts = coarse.ttmc_nonzero_counts(skewed_tensor, 1)
+        assert ccounts.sum() == skewed_tensor.nnz  # each slice owned exactly once
+
+    def test_fine_ttmc_balance_better_than_coarse_block(self, skewed_tensor):
+        fine = make_partition(skewed_tensor, 8, "fine-hp", seed=0)
+        coarse = make_partition(skewed_tensor, 8, "coarse-bl")
+        f = fine.ttmc_nonzero_counts(skewed_tensor, 2)
+        c = coarse.ttmc_nonzero_counts(skewed_tensor, 2)
+        assert f.max() / max(f.mean(), 1) <= c.max() / max(c.mean(), 1) + 1e-9
+
+    def test_fine_hp_cut_below_fine_rd(self, skewed_tensor):
+        hg, _ = build_fine_hypergraph(skewed_tensor)
+        hp = make_partition(skewed_tensor, 8, "fine-hp", seed=0)
+        rd = make_partition(skewed_tensor, 8, "fine-rd", seed=0)
+        cut_hp = connectivity_cutsize(hg, hp.nonzero_owner, 8)
+        cut_rd = connectivity_cutsize(hg, rd.nonzero_owner, 8)
+        assert cut_hp < cut_rd / 2
+
+    def test_trsvd_rows_fine_at_least_nonempty_fraction(self, skewed_tensor):
+        part = make_partition(skewed_tensor, 4, "fine-hp", seed=0)
+        rows = part.trsvd_row_counts(skewed_tensor, 2)
+        nonempty = len(skewed_tensor.nonempty_rows(2))
+        # Partial rows can be redundant, so the total is at least the number
+        # of non-empty rows (coarse would be exactly that).
+        assert rows.sum() >= nonempty
+
+    def test_trsvd_rows_coarse_sum_equals_nonempty(self, skewed_tensor):
+        part = make_partition(skewed_tensor, 4, "coarse-hp", seed=0)
+        rows = part.trsvd_row_counts(skewed_tensor, 2)
+        assert rows.sum() == len(skewed_tensor.nonempty_rows(2))
+
+    def test_fine_partition_kind_validation(self, skewed_tensor):
+        with pytest.raises(ValueError):
+            TensorPartition(kind="fine", strategy="x", num_parts=2,
+                            row_owner=[np.zeros(s, dtype=np.int64)
+                                       for s in skewed_tensor.shape])
+
+    def test_partition_deterministic(self, skewed_tensor):
+        a = make_partition(skewed_tensor, 4, "fine-hp", seed=5)
+        b = make_partition(skewed_tensor, 4, "fine-hp", seed=5)
+        assert np.array_equal(a.nonzero_owner, b.nonzero_owner)

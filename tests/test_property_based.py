@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    SparseTensor,
+    batch_kron_rows,
+    dense_ttm_chain,
+    fold,
+    kron_rows,
+    symbolic_ttmc,
+    ttmc_matricized,
+    unfold,
+)
+from repro.core.trsvd import lanczos_svd
+from repro.partition import Hypergraph, connectivity_cutsize, partition_hypergraph
+from repro.partition.multilevel import PartitionerOptions
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def sparse_tensors(draw, max_order=4, max_dim=12, max_nnz=60):
+    order = draw(st.integers(min_value=2, max_value=max_order))
+    shape = tuple(
+        draw(st.integers(min_value=2, max_value=max_dim)) for _ in range(order)
+    )
+    nnz = draw(st.integers(min_value=0, max_value=max_nnz))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if nnz == 0:
+        return SparseTensor.empty(shape)
+    indices = np.column_stack([rng.integers(0, s, nnz) for s in shape])
+    values = rng.standard_normal(nnz)
+    return SparseTensor(indices, values, shape, sum_duplicates=True)
+
+
+class TestSparseTensorProperties:
+    @SETTINGS
+    @given(sparse_tensors())
+    def test_dense_roundtrip(self, tensor):
+        assert SparseTensor.from_dense(tensor.to_dense()).allclose(tensor)
+
+    @SETTINGS
+    @given(sparse_tensors())
+    def test_norm_matches_dense(self, tensor):
+        assert np.isclose(tensor.norm(), np.linalg.norm(tensor.to_dense().ravel()))
+
+    @SETTINGS
+    @given(sparse_tensors(), st.integers(min_value=0, max_value=3))
+    def test_matricize_matches_dense_unfold(self, tensor, mode_raw):
+        mode = mode_raw % tensor.order
+        assert np.allclose(
+            tensor.matricize(mode).toarray(), unfold(tensor.to_dense(), mode)
+        )
+
+    @SETTINGS
+    @given(sparse_tensors())
+    def test_deduplicate_idempotent(self, tensor):
+        once = tensor.deduplicate()
+        twice = once.deduplicate()
+        assert once.nnz == twice.nnz
+        assert once.allclose(twice)
+
+    @SETTINGS
+    @given(sparse_tensors(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+    def test_scale_linearity(self, tensor, alpha):
+        assert np.allclose(tensor.scale(alpha).to_dense(), alpha * tensor.to_dense())
+
+    @SETTINGS
+    @given(sparse_tensors())
+    def test_mode_counts_sum_to_nnz(self, tensor):
+        for mode in range(tensor.order):
+            assert tensor.mode_counts(mode).sum() == tensor.nnz
+
+
+class TestUnfoldProperties:
+    @SETTINGS
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=4, min_side=1, max_side=6),
+            elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        ),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_fold_inverts_unfold(self, array, mode_raw):
+        mode = mode_raw % array.ndim
+        assert np.allclose(fold(unfold(array, mode), mode, array.shape), array)
+
+    @SETTINGS
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=3, min_side=1, max_side=6),
+            elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        ),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_unfold_preserves_norm(self, array, mode_raw):
+        mode = mode_raw % array.ndim
+        assert np.isclose(np.linalg.norm(unfold(array, mode)), np.linalg.norm(array))
+
+
+class TestKronProperties:
+    @SETTINGS
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 5), st.integers(1, 5))
+    def test_kron_norm_multiplicative(self, seed, la, lb):
+        rng = np.random.default_rng(seed)
+        a, b = rng.standard_normal(la), rng.standard_normal(lb)
+        assert np.isclose(
+            np.linalg.norm(kron_rows([a, b])),
+            np.linalg.norm(a) * np.linalg.norm(b),
+        )
+
+    @SETTINGS
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 6), st.integers(1, 4),
+           st.integers(1, 4))
+    def test_batch_consistent_with_single(self, seed, m, la, lb):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, la))
+        b = rng.standard_normal((m, lb))
+        batch = batch_kron_rows([a, b])
+        for p in range(m):
+            assert np.allclose(batch[p], kron_rows([a[p], b[p]]))
+
+
+class TestTTMcProperties:
+    @SETTINGS
+    @given(sparse_tensors(max_order=3, max_dim=10, max_nnz=40),
+           st.integers(min_value=0, max_value=2),
+           st.integers(0, 2**31 - 1))
+    def test_ttmc_matches_dense(self, tensor, mode_raw, seed):
+        mode = mode_raw % tensor.order
+        rng = np.random.default_rng(seed)
+        factors = [
+            np.linalg.qr(rng.standard_normal((s, min(2, s))))[0] for s in tensor.shape
+        ]
+        ours = ttmc_matricized(tensor, factors, mode)
+        expected = unfold(
+            dense_ttm_chain(tensor.to_dense(), factors, skip=mode, transpose=True),
+            mode,
+        )
+        assert np.allclose(ours, expected, atol=1e-10)
+
+    @SETTINGS
+    @given(sparse_tensors(max_order=3, max_dim=10, max_nnz=40),
+           st.integers(0, 2**31 - 1))
+    def test_ttmc_linear_in_tensor_values(self, tensor, seed):
+        if tensor.nnz == 0:
+            return
+        rng = np.random.default_rng(seed)
+        factors = [
+            np.linalg.qr(rng.standard_normal((s, min(2, s))))[0] for s in tensor.shape
+        ]
+        doubled = SparseTensor(tensor.indices, 2.0 * tensor.values, tensor.shape)
+        assert np.allclose(
+            ttmc_matricized(doubled, factors, 0),
+            2.0 * ttmc_matricized(tensor, factors, 0),
+        )
+
+    @SETTINGS
+    @given(sparse_tensors(max_order=4, max_dim=10, max_nnz=50),
+           st.integers(min_value=0, max_value=3))
+    def test_symbolic_invariants(self, tensor, mode_raw):
+        mode = mode_raw % tensor.order
+        sym = symbolic_ttmc(tensor, mode)
+        assert sym.rowptr[0] == 0
+        assert sym.rowptr[-1] == tensor.nnz
+        assert np.all(np.diff(sym.rowptr) >= 1) or sym.num_rows == 0
+        assert sym.row_sizes().sum() == tensor.nnz
+
+
+class TestLanczosProperties:
+    @SETTINGS
+    @given(st.integers(0, 2**31 - 1), st.integers(6, 20), st.integers(3, 8),
+           st.integers(1, 3))
+    def test_singular_values_match_numpy(self, seed, m, n, k):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        k = min(k, min(m, n))
+        result = lanczos_svd(a, k, seed=0)
+        _, s, _ = np.linalg.svd(a, full_matrices=False)
+        assert np.allclose(np.sort(result.singular_values)[::-1], s[:k],
+                           rtol=1e-5, atol=1e-8)
+
+
+class TestPartitionProperties:
+    @SETTINGS
+    @given(st.integers(0, 2**31 - 1), st.integers(10, 60), st.integers(2, 5))
+    def test_partition_is_valid_and_cut_nonnegative(self, seed, num_vertices, parts):
+        rng = np.random.default_rng(seed)
+        nets = [
+            rng.choice(num_vertices, size=int(rng.integers(2, min(5, num_vertices) + 1)),
+                       replace=False)
+            for _ in range(num_vertices)
+        ]
+        hg = Hypergraph(num_vertices, nets)
+        assignment = partition_hypergraph(
+            hg, parts, options=PartitionerOptions(seed=0, initial_trials=2,
+                                                  refine_passes=2)
+        )
+        assert assignment.shape == (num_vertices,)
+        assert assignment.min() >= 0 and assignment.max() < parts
+        cut = connectivity_cutsize(hg, assignment, parts)
+        assert 0 <= cut <= int(hg.net_costs.sum()) * (parts - 1)

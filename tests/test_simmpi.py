@@ -1,0 +1,252 @@
+"""Tests for the simulated MPI substrate (communicator, collectives, clocks, machine)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.model import PhaseWork
+from repro.simmpi import (
+    BGQ_MACHINE,
+    CommStats,
+    CommWorld,
+    LogicalClock,
+    MachineModel,
+    SPMDError,
+    payload_nbytes,
+    run_spmd,
+)
+
+
+class TestPayloadSize:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+
+    def test_scalar_and_none(self):
+        assert payload_nbytes(3.0) == 8
+        assert payload_nbytes(None) == 0
+
+    def test_containers(self):
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40
+        assert payload_nbytes({"a": np.zeros(4)}) > 32
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(np.array([comm.rank], dtype=float), dest=right, tag=1)
+            received = comm.recv(source=left, tag=1)
+            return float(received[0])
+
+        result = run_spmd(program, 5)
+        assert result.values == [4.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_tag_matching(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=10)
+                comm.send("b", dest=1, tag=20)
+                return None
+            if comm.rank == 1:
+                second = comm.recv(source=0, tag=20)
+                first = comm.recv(source=0, tag=10)
+                return (first, second)
+            return None
+
+        result = run_spmd(program, 2)
+        assert result.values[1] == ("a", "b")
+
+    def test_fifo_per_source_and_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1, tag=3)
+                return None
+            return [comm.recv(source=0, tag=3) for _ in range(5)]
+
+        result = run_spmd(program, 2)
+        assert result.values[1] == [0, 1, 2, 3, 4]
+
+    def test_stats_recorded(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100), dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            comm.barrier()
+            return comm.stats.snapshot()
+
+        result = run_spmd(program, 2)
+        assert result.values[0]["bytes_sent"] == 800
+        assert result.values[1]["bytes_received"] == 800
+        assert result.values[1]["messages_received"] == 1
+
+    def test_invalid_destination(self):
+        def program(comm):
+            comm.send(1, dest=99)
+
+        with pytest.raises(SPMDError):
+            run_spmd(program, 2)
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        def program(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)))
+
+        result = run_spmd(program, 4)
+        for value in result.values:
+            assert np.allclose(value, 6.0)
+
+    def test_allreduce_max_min(self):
+        def program(comm):
+            mx = comm.allreduce(np.array([float(comm.rank)]), op="max")
+            mn = comm.allreduce(np.array([float(comm.rank)]), op="min")
+            return (float(mx[0]), float(mn[0]))
+
+        result = run_spmd(program, 3)
+        assert all(v == (2.0, 0.0) for v in result.values)
+
+    def test_allgather(self):
+        def program(comm):
+            return comm.allgather(comm.rank * 10)
+
+        result = run_spmd(program, 4)
+        assert all(v == [0, 10, 20, 30] for v in result.values)
+
+    def test_bcast(self):
+        def program(comm):
+            payload = {"data": np.arange(4)} if comm.rank == 2 else None
+            out = comm.bcast(payload, root=2)
+            return int(out["data"].sum())
+
+        result = run_spmd(program, 4)
+        assert result.values == [6, 6, 6, 6]
+
+    def test_alltoall(self):
+        def program(comm):
+            sendbuf = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            return comm.alltoall(sendbuf)
+
+        result = run_spmd(program, 3)
+        assert result.values[1] == ["0->1", "1->1", "2->1"]
+
+    def test_gather(self):
+        def program(comm):
+            out = comm.gather(comm.rank + 1, root=0)
+            return out
+
+        result = run_spmd(program, 3)
+        assert result.values[0] == [1, 2, 3]
+        assert result.values[1] is None
+
+    def test_reduce(self):
+        def program(comm):
+            return comm.reduce(np.array([1.0]), root=1)
+
+        result = run_spmd(program, 4)
+        assert result.values[0] is None
+        assert np.allclose(result.values[1], 4.0)
+
+    def test_repeated_collectives_no_crosstalk(self):
+        def program(comm):
+            totals = []
+            for i in range(5):
+                totals.append(float(comm.allreduce(np.array([float(i)]))[0]))
+            return totals
+
+        result = run_spmd(program, 3)
+        assert result.values[0] == [0.0, 3.0, 6.0, 9.0, 12.0]
+
+    def test_single_rank_world(self):
+        def program(comm):
+            assert comm.size == 1
+            return float(comm.allreduce(np.array([5.0]))[0])
+
+        assert run_spmd(program, 1).values == [5.0]
+
+    def test_alltoall_wrong_length(self):
+        def program(comm):
+            comm.alltoall([1])
+
+        with pytest.raises(SPMDError):
+            run_spmd(program, 2)
+
+
+class TestClocksAndErrors:
+    def test_compute_advances_only_local_clock(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.advance_compute(1.0)
+            comm.barrier()
+            return comm.clock.now
+
+        result = run_spmd(program, 2)
+        # After the barrier both clocks synchronize to the slowest rank.
+        assert result.values[0] >= 1.0
+        assert result.values[1] >= 1.0
+
+    def test_clock_breakdown_categories(self):
+        clock = LogicalClock(rank=0)
+        clock.advance(1.0, "ttmc")
+        clock.advance(0.5, "trsvd")
+        clock.synchronize(2.0)
+        assert clock.now == 2.0
+        assert clock.breakdown()["ttmc"] == 1.0
+        assert clock.breakdown()["wait"] == 0.5
+
+    def test_exception_in_one_rank_raises_spmderror(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(SPMDError, match="rank 1"):
+            run_spmd(program, 3)
+
+    def test_commstats_reset(self):
+        stats = CommStats(rank=0)
+        stats.record_send(1, 100)
+        stats.record_collective(50)
+        stats.reset()
+        assert stats.total_bytes == 0
+        assert stats.messages_sent == 0
+
+
+class TestMachineModel:
+    def test_message_time_monotonic(self):
+        assert BGQ_MACHINE.message_time(10_000) > BGQ_MACHINE.message_time(100)
+
+    def test_collective_time_grows_with_ranks(self):
+        small = BGQ_MACHINE.collective_time("allreduce", 800, 4)
+        large = BGQ_MACHINE.collective_time("allreduce", 800, 64)
+        assert large > small
+
+    def test_single_rank_collective_free(self):
+        assert BGQ_MACHINE.collective_time("allreduce", 800, 1) == 0.0
+        assert BGQ_MACHINE.collective_volume("allgather", 800, 1) == 0
+
+    def test_unknown_collective(self):
+        with pytest.raises(ValueError):
+            BGQ_MACHINE.collective_time("gossip", 10, 4)
+        with pytest.raises(ValueError):
+            BGQ_MACHINE.collective_volume("gossip", 10, 4)
+
+    def test_compute_time_uses_node_model(self):
+        work = PhaseWork(flops=1e9)
+        t32 = BGQ_MACHINE.compute_time(work)
+        t1 = BGQ_MACHINE.compute_time(work, threads=1)
+        assert t32 < t1
+
+    def test_with_overrides(self):
+        faster = BGQ_MACHINE.with_overrides(network_bandwidth=1e12)
+        assert faster.message_time(10**6) < BGQ_MACHINE.message_time(10**6)
+
+    def test_world_reset_helpers(self):
+        world = CommWorld(2, machine=MachineModel())
+        world.stats[0].record_send(1, 10)
+        world.clocks[0].advance(1.0)
+        world.reset_stats()
+        world.reset_clocks()
+        assert world.stats[0].total_bytes == 0
+        assert world.max_clock() == 0.0

@@ -1,0 +1,189 @@
+"""Unit tests for the matrix-free truncated SVD solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CountingOperator,
+    DenseOperator,
+    LinearOperator,
+    lanczos_svd,
+    randomized_svd,
+    truncated_svd,
+)
+
+
+def spectrum_matrix(rng, m=120, n=40, decay=0.5):
+    """Matrix with a controlled, well-separated spectrum."""
+    u, _ = np.linalg.qr(rng.standard_normal((m, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    s = decay ** np.arange(n) * 10.0
+    return (u * s) @ v.T
+
+
+class TestDenseOperator:
+    def test_matvec_rmatvec(self, rng):
+        a = rng.standard_normal((8, 5))
+        op = DenseOperator(a)
+        x = rng.standard_normal(5)
+        y = rng.standard_normal(8)
+        assert np.allclose(op.matvec(x), a @ x)
+        assert np.allclose(op.rmatvec(y), a.T @ y)
+
+    def test_matmat(self, rng):
+        a = rng.standard_normal((8, 5))
+        block = rng.standard_normal((5, 3))
+        assert np.allclose(DenseOperator(a).matmat(block), a @ block)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            DenseOperator(np.ones(3))
+
+    def test_counting_operator(self, rng):
+        op = CountingOperator(DenseOperator(rng.standard_normal((6, 4))))
+        op.matvec(np.ones(4))
+        op.rmatvec(np.ones(6))
+        op.matmat(np.ones((4, 2)))
+        assert op.matvec_count == 3
+        assert op.rmatvec_count == 1
+
+    def test_generic_matmat_fallback(self, rng):
+        class MyOp(LinearOperator):
+            def __init__(self, a):
+                self.a = a
+                self.shape = a.shape
+
+            def matvec(self, x):
+                return self.a @ x
+
+            def rmatvec(self, y):
+                return self.a.T @ y
+
+        a = rng.standard_normal((7, 4))
+        op = MyOp(a)
+        assert np.allclose(op.matmat(np.eye(4)), a)
+        assert np.allclose(op.rmatmat(np.eye(7)), a.T)
+
+
+class TestLanczos:
+    def test_singular_values_match_dense(self, rng):
+        a = spectrum_matrix(rng)
+        result = lanczos_svd(a, 5)
+        _, s, _ = np.linalg.svd(a, full_matrices=False)
+        assert np.allclose(result.singular_values, s[:5], rtol=1e-6)
+
+    def test_left_subspace_matches(self, rng):
+        a = spectrum_matrix(rng)
+        result = lanczos_svd(a, 4)
+        u, _, _ = np.linalg.svd(a, full_matrices=False)
+        ours = result.left @ result.left.T
+        reference = u[:, :4] @ u[:, :4].T
+        assert np.allclose(ours, reference, atol=1e-6)
+
+    def test_left_vectors_orthonormal(self, rng):
+        result = lanczos_svd(spectrum_matrix(rng), 6)
+        gram = result.left.T @ result.left
+        assert np.allclose(gram, np.eye(6), atol=1e-8)
+
+    def test_right_vectors_returned(self, rng):
+        a = spectrum_matrix(rng)
+        result = lanczos_svd(a, 3)
+        assert result.right is not None
+        # A v ≈ σ u for each triplet.
+        for i in range(3):
+            assert np.allclose(
+                a @ result.right[:, i],
+                result.singular_values[i] * result.left[:, i],
+                atol=1e-6,
+            )
+
+    def test_counts_operator_applications(self, rng):
+        op = CountingOperator(DenseOperator(spectrum_matrix(rng)))
+        result = lanczos_svd(op, 3)
+        assert result.matvecs == op.matvec_count > 0
+        assert result.rmatvecs == op.rmatvec_count > 0
+
+    def test_rank_larger_than_dims_clipped(self, rng):
+        a = rng.standard_normal((10, 4))
+        result = lanczos_svd(a, 9)
+        assert result.rank == 4
+
+    def test_rank_equal_to_min_dim(self, rng):
+        a = rng.standard_normal((12, 5))
+        result = lanczos_svd(a, 5)
+        _, s, _ = np.linalg.svd(a, full_matrices=False)
+        assert np.allclose(np.sort(result.singular_values)[::-1], s, rtol=1e-6)
+
+    def test_invalid_rank(self, rng):
+        with pytest.raises(ValueError):
+            lanczos_svd(rng.standard_normal((5, 5)), 0)
+
+    def test_deterministic_given_seed(self, rng):
+        a = spectrum_matrix(rng)
+        r1 = lanczos_svd(a, 4, seed=3)
+        r2 = lanczos_svd(a, 4, seed=3)
+        assert np.allclose(r1.left, r2.left)
+
+    def test_rank_one_matrix(self, rng):
+        u = rng.standard_normal(30)
+        v = rng.standard_normal(8)
+        a = np.outer(u, v)
+        result = lanczos_svd(a, 2)
+        assert np.isclose(result.singular_values[0],
+                          np.linalg.norm(u) * np.linalg.norm(v), rtol=1e-8)
+        assert result.singular_values[1] < 1e-6
+
+    def test_zero_matrix(self):
+        result = lanczos_svd(np.zeros((10, 6)), 2)
+        assert np.allclose(result.singular_values, 0.0)
+
+
+class TestRandomized:
+    def test_singular_values_close(self, rng):
+        a = spectrum_matrix(rng)
+        result = randomized_svd(a, 5, power_iterations=3)
+        _, s, _ = np.linalg.svd(a, full_matrices=False)
+        assert np.allclose(result.singular_values, s[:5], rtol=1e-4)
+
+    def test_orthonormal_output(self, rng):
+        result = randomized_svd(spectrum_matrix(rng), 4)
+        assert np.allclose(result.left.T @ result.left, np.eye(4), atol=1e-8)
+
+    def test_invalid_rank(self, rng):
+        with pytest.raises(ValueError):
+            randomized_svd(rng.standard_normal((5, 5)), -1)
+
+
+class TestDispatcher:
+    def test_dense_method(self, rng):
+        a = spectrum_matrix(rng)
+        result = truncated_svd(a, 3, method="dense")
+        _, s, _ = np.linalg.svd(a, full_matrices=False)
+        assert np.allclose(result.singular_values, s[:3])
+
+    def test_gram_method(self, rng):
+        a = spectrum_matrix(rng)
+        result = truncated_svd(a, 3, method="gram")
+        u, _, _ = np.linalg.svd(a, full_matrices=False)
+        assert np.allclose(result.left @ result.left.T, u[:, :3] @ u[:, :3].T,
+                           atol=1e-6)
+
+    def test_methods_agree_on_subspace(self, rng):
+        a = spectrum_matrix(rng)
+        subspaces = []
+        for method in ("lanczos", "randomized", "dense", "gram"):
+            res = truncated_svd(a, 3, method=method)
+            subspaces.append(res.left @ res.left.T)
+        for other in subspaces[1:]:
+            assert np.allclose(subspaces[0], other, atol=1e-5)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError):
+            truncated_svd(rng.standard_normal((4, 4)), 2, method="magic")
+
+    def test_dense_method_requires_matrix(self, rng):
+        class Op(LinearOperator):
+            shape = (4, 4)
+
+        with pytest.raises(TypeError):
+            truncated_svd(Op(), 2, method="dense")

@@ -1,0 +1,95 @@
+"""Unit tests for sparse TTM, TTM chains and TTV (the MET-style building blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SparseTensor,
+    dense_ttm,
+    dense_ttm_chain,
+    dense_ttv,
+    sparse_ttm,
+    sparse_ttm_chain,
+    sparse_ttv,
+    unfold,
+)
+
+
+class TestSparseTTM:
+    def test_single_ttm_matches_dense(self, small_tensor_3d, factors_3d):
+        dense = small_tensor_3d.to_dense()
+        semi = sparse_ttm(small_tensor_3d, factors_3d[1], 1)
+        expected = dense_ttm(dense, factors_3d[1], 1, transpose=True)
+        # Rebuild a dense array from the semi-sparse result.
+        rebuilt = np.zeros((dense.shape[0], factors_3d[1].shape[1], dense.shape[2]))
+        for (i, k), block in zip(semi.indices, semi.blocks):
+            rebuilt[i, :, k] += block
+        assert np.allclose(rebuilt, expected)
+
+    def test_merge_reduces_duplicates(self, small_tensor_3d, factors_3d):
+        merged = sparse_ttm(small_tensor_3d, factors_3d[0], 0, merge=True)
+        unmerged = sparse_ttm(small_tensor_3d, factors_3d[0], 0, merge=False)
+        assert merged.nnz <= unmerged.nnz
+        assert unmerged.nnz == small_tensor_3d.nnz
+
+    def test_wrong_matrix_shape_raises(self, small_tensor_3d):
+        with pytest.raises(ValueError):
+            sparse_ttm(small_tensor_3d, np.ones((3, 2)), 0)
+
+    def test_chain_matches_ttmc(self, small_tensor_3d, factors_3d):
+        dense = small_tensor_3d.to_dense()
+        for mode in range(3):
+            semi = sparse_ttm_chain(small_tensor_3d, factors_3d, skip=mode)
+            expected = unfold(
+                dense_ttm_chain(dense, factors_3d, skip=mode, transpose=True), mode
+            )
+            assert np.allclose(semi.matricize_remaining(mode), expected)
+
+    def test_chain_matches_ttmc_4d(self, small_tensor_4d, factors_4d):
+        dense = small_tensor_4d.to_dense()
+        for mode in range(4):
+            semi = sparse_ttm_chain(small_tensor_4d, factors_4d, skip=mode)
+            expected = unfold(
+                dense_ttm_chain(dense, factors_4d, skip=mode, transpose=True), mode
+            )
+            assert np.allclose(semi.matricize_remaining(mode), expected)
+
+    def test_chain_all_modes(self, small_tensor_3d, factors_3d):
+        semi = sparse_ttm_chain(small_tensor_3d, factors_3d)
+        # Multiplying every mode leaves a single dense block equal to vec(core).
+        dense_core = dense_ttm_chain(
+            small_tensor_3d.to_dense(), factors_3d, transpose=True
+        )
+        assert semi.blocks.shape[1] == dense_core.size
+        assert np.allclose(semi.blocks.sum(axis=0), unfold(dense_core[None], 0)[0])
+
+    def test_chain_missing_factor_raises(self, small_tensor_3d, factors_3d):
+        with pytest.raises(ValueError):
+            sparse_ttm_chain(small_tensor_3d, [factors_3d[0], None, factors_3d[2]], skip=0)
+
+    def test_matricize_remaining_requires_single_mode(self, small_tensor_3d, factors_3d):
+        semi = sparse_ttm(small_tensor_3d, factors_3d[2], 2)
+        with pytest.raises(ValueError):
+            semi.matricize_remaining(0)
+
+
+class TestSparseTTV:
+    def test_ttv_matches_dense(self, small_tensor_3d, rng):
+        v = rng.standard_normal(small_tensor_3d.shape[1])
+        result = sparse_ttv(small_tensor_3d, v, 1)
+        expected = dense_ttv(small_tensor_3d.to_dense(), v, 1)
+        assert np.allclose(result.to_dense(), expected)
+
+    def test_ttv_wrong_length(self, small_tensor_3d):
+        with pytest.raises(ValueError):
+            sparse_ttv(small_tensor_3d, np.ones(3), 1)
+
+    def test_ttv_reduces_order(self, small_tensor_4d, rng):
+        v = rng.standard_normal(small_tensor_4d.shape[0])
+        out = sparse_ttv(small_tensor_4d, v, 0)
+        assert out.order == 3
+
+    def test_ttv_order_one_raises(self):
+        t = SparseTensor(np.array([[0]]), np.array([1.0]), (3,))
+        with pytest.raises(ValueError):
+            sparse_ttv(t, np.ones(3), 0)
