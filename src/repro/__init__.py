@@ -9,6 +9,8 @@ The public API is re-exported from the subpackages:
 
 * :mod:`repro.core` — sparse tensors, nonzero-based TTMc, symbolic TTMc,
   matrix-free TRSVD, sequential HOOI.
+* :mod:`repro.engine` — the unified HOOI driver loop, pluggable execution
+  backends, pooled workspaces and the float32/float64 dtype policy.
 * :mod:`repro.parallel` — shared-memory (thread) parallel HOOI, Algorithm 3.
 * :mod:`repro.partition` — hypergraph models of the TTMc/TRSVD tasks and a
   multilevel partitioner (PaToH substitute), plus random/block partitioners.
@@ -30,6 +32,7 @@ from repro.core import (
     hooi,
     tucker_fit,
 )
+from repro.engine import HOOIEngine, WorkspacePool
 
 __version__ = "1.0.0"
 
@@ -38,6 +41,8 @@ __all__ = [
     "TuckerTensor",
     "HOOIOptions",
     "HOOIResult",
+    "HOOIEngine",
+    "WorkspacePool",
     "hooi",
     "tucker_fit",
     "__version__",

@@ -11,28 +11,44 @@ the conventional way — as a chain of sparse TTM products, one mode at a time,
 materializing the semi-sparse intermediate after every multiplication and
 merging duplicate fibers (the memory-saving trick MET schedules around), with
 no symbolic preprocessing reused across iterations.  The numerics are
-identical to :func:`repro.core.hooi.hooi` (both drive the same TRSVD), so the
-benchmark isolates the cost of the TTMc evaluation strategy, which is exactly
-what the paper's comparison highlights.
+identical to :func:`repro.core.hooi.hooi` — both plug into the same
+:class:`~repro.engine.driver.HOOIEngine` loop and drive the same TRSVD — so
+the benchmark isolates the cost of the TTMc evaluation strategy, which is
+exactly what the paper's comparison highlights.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.hooi import HOOIOptions, HOOIResult
-from repro.core.hosvd import initialize_factors
 from repro.core.sparse_tensor import SparseTensor
-from repro.core.trsvd import truncated_svd
 from repro.core.ttm import sparse_ttm_chain
-from repro.core.tucker import TuckerTensor, core_from_ttmc
-from repro.util.timing import TimingBreakdown
-from repro.util.validation import check_rank_vector
+from repro.engine.backend import SequentialBackend
+from repro.engine.driver import HOOIEngine
 
-__all__ = ["met_hooi"]
+__all__ = ["met_hooi", "TTMChainBackend"]
+
+
+class TTMChainBackend(SequentialBackend):
+    """TTMc evaluated as a sparse TTM chain (the MET evaluation strategy).
+
+    No symbolic preprocessing: every mode of every iteration re-derives the
+    fiber structure while materializing the semi-sparse intermediates.
+    """
+
+    name = "ttm-chain"
+
+    def prepare(self, eng) -> None:
+        # Deliberately nothing: the absence of reusable symbolic data is the
+        # point of this baseline.
+        pass
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        semi = sparse_ttm_chain(eng.tensor, eng.factors, skip=mode)
+        return semi.matricize_remaining(mode)
 
 
 def met_hooi(
@@ -46,63 +62,5 @@ def met_hooi(
     same result structure, so the two can be compared (and benchmarked) on
     identical inputs.
     """
-    options = options or HOOIOptions()
-    ranks = check_rank_vector(ranks, tensor.shape)
-    timings = TimingBreakdown()
-
-    with timings.time("init"):
-        factors = initialize_factors(
-            tensor, ranks, init=options.init, seed=options.seed
-        )
-
-    norm_x = tensor.norm()
-    fit_history: List[float] = []
-    trsvd_stats = []
-    converged = False
-    core = np.zeros(ranks, dtype=np.float64)
-    iterations_run = 0
-
-    for iteration in range(options.max_iterations):
-        iterations_run = iteration + 1
-        last_ttmc: Optional[np.ndarray] = None
-        for mode in range(tensor.order):
-            with timings.time("ttmc"):
-                semi = sparse_ttm_chain(tensor, factors, skip=mode)
-                y_mat = semi.matricize_remaining(mode)
-            with timings.time("trsvd"):
-                result = truncated_svd(
-                    y_mat,
-                    ranks[mode],
-                    method=options.trsvd_method,
-                    **(
-                        {"tol": options.trsvd_tol, "seed": options.seed}
-                        if options.trsvd_method == "lanczos"
-                        else {}
-                    ),
-                )
-            factors[mode] = result.left
-            trsvd_stats.append(result)
-            if mode == tensor.order - 1:
-                last_ttmc = y_mat
-
-        with timings.time("core"):
-            core = core_from_ttmc(last_ttmc, factors[-1], ranks)
-
-        if options.track_fit:
-            core_norm = float(np.linalg.norm(core.ravel()))
-            residual_sq = max(norm_x**2 - core_norm**2, 0.0)
-            fit = 1.0 - float(np.sqrt(residual_sq)) / norm_x if norm_x else 1.0
-            fit_history.append(fit)
-            if iteration > 0 and abs(fit_history[-1] - fit_history[-2]) < options.tolerance:
-                converged = True
-                break
-
-    decomposition = TuckerTensor(core=core, factors=list(factors))
-    return HOOIResult(
-        decomposition=decomposition,
-        fit_history=fit_history,
-        iterations=iterations_run,
-        converged=converged,
-        timings=timings,
-        trsvd_stats=trsvd_stats,
-    )
+    engine = HOOIEngine(tensor, ranks, options, backend=TTMChainBackend())
+    return engine.run()

@@ -11,7 +11,7 @@ single-process form:
 * the :class:`~repro.core.tucker.TuckerTensor` result container.
 """
 
-from repro.core.sparse_tensor import SparseTensor
+from repro.core.sparse_tensor import SparseTensor, SUPPORTED_DTYPES, resolve_dtype
 from repro.core.dense import (
     dense_ttm,
     dense_ttm_chain,
@@ -50,6 +50,8 @@ from repro.core.hooi import HOOIOptions, HOOIResult, hooi, hooi_iteration_stats
 
 __all__ = [
     "SparseTensor",
+    "SUPPORTED_DTYPES",
+    "resolve_dtype",
     "dense_ttm",
     "dense_ttm_chain",
     "dense_ttv",

@@ -9,6 +9,11 @@ follows the structure of Algorithm 3 minus the ``parfor``s:
 3. after the last mode, the core tensor is obtained from the already-available
    ``Y_(N)`` with a single small dense multiply, and the fit
    ``1 - ||X - X̂|| / ||X||`` is monitored for convergence.
+
+Since the engine refactor the iteration loop itself lives in
+:class:`repro.engine.driver.HOOIEngine`; :func:`hooi` configures it with the
+:class:`~repro.engine.backend.SequentialBackend`.  This module keeps the
+shared option/result containers every driver uses.
 """
 
 from __future__ import annotations
@@ -18,21 +23,23 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.hosvd import initialize_factors
-from repro.core.sparse_tensor import SparseTensor
-from repro.core.symbolic import SymbolicTTMc
-from repro.core.trsvd import TRSVDResult, truncated_svd
-from repro.core.ttmc import ttmc_matricized
-from repro.core.tucker import TuckerTensor, core_from_ttmc
+from repro.core.trsvd import TRSVDResult
+from repro.core.tucker import TuckerTensor
 from repro.util.timing import TimingBreakdown
-from repro.util.validation import check_rank_vector
 
 __all__ = ["HOOIOptions", "HOOIResult", "hooi", "hooi_iteration_stats"]
 
 
 @dataclass
 class HOOIOptions:
-    """Knobs of the HOOI driver (defaults follow the paper's experiments)."""
+    """Knobs of the HOOI drivers (defaults follow the paper's experiments).
+
+    ``trsvd_method`` selects the factor-update solver: ``"lanczos"`` (the
+    default, mirroring SLEPc), ``"randomized"`` (seeded Halko-style range
+    finder), ``"dense"`` or ``"gram"`` (small-problem baselines).  ``dtype``
+    is the engine's precision policy (``"float32"`` or ``"float64"``) applied
+    to the tensor values, factors, TTMc and TRSVD operands alike.
+    """
 
     max_iterations: int = 5
     tolerance: float = 1e-5
@@ -42,11 +49,17 @@ class HOOIOptions:
     seed: Optional[int] = 0
     block_nnz: Optional[int] = None
     track_fit: bool = True
+    dtype: str = "float64"
 
 
 @dataclass
 class HOOIResult:
-    """Outcome of a HOOI run."""
+    """Outcome of a HOOI run.
+
+    ``fit_history`` holds one entry per tracked iteration; with
+    ``track_fit=False`` it holds the single fit evaluated after the final
+    iteration, so :attr:`fit` is always populated on a completed run.
+    """
 
     decomposition: TuckerTensor
     fit_history: List[float]
@@ -61,11 +74,12 @@ class HOOIResult:
 
 
 def hooi(
-    tensor: SparseTensor,
+    tensor,
     ranks: Sequence[int] | int,
     options: Optional[HOOIOptions] = None,
     *,
     callback: Optional[Callable[[int, float], None]] = None,
+    workspace=None,
 ) -> HOOIResult:
     """Run sequential HOOI on a sparse tensor.
 
@@ -77,83 +91,21 @@ def hooi(
         Per-mode decomposition ranks ``R_1, ..., R_N`` (a scalar is broadcast).
     options:
         :class:`HOOIOptions`; defaults match the paper (5 iterations, random
-        init, Lanczos TRSVD).
+        init, Lanczos TRSVD, float64).
     callback:
-        Optional ``callback(iteration, fit)`` invoked after each iteration.
+        Optional ``callback(iteration, fit)`` invoked after each tracked
+        iteration.
+    workspace:
+        Optional :class:`repro.engine.workspace.WorkspacePool` shared across
+        runs (one is created per run otherwise).
     """
-    options = options or HOOIOptions()
-    ranks = check_rank_vector(ranks, tensor.shape)
-    timings = TimingBreakdown()
+    from repro.engine.backend import SequentialBackend
+    from repro.engine.driver import HOOIEngine
 
-    with timings.time("init"):
-        factors = initialize_factors(
-            tensor, ranks, init=options.init, seed=options.seed
-        )
-
-    with timings.time("symbolic"):
-        symbolic = SymbolicTTMc(tensor)
-
-    norm_x = tensor.norm()
-    fit_history: List[float] = []
-    trsvd_stats: List[TRSVDResult] = []
-    converged = False
-    core = np.zeros(ranks, dtype=np.float64)
-    iterations_run = 0
-
-    for iteration in range(options.max_iterations):
-        iterations_run = iteration + 1
-        last_ttmc: Optional[np.ndarray] = None
-        for mode in range(tensor.order):
-            with timings.time("ttmc"):
-                y_mat = ttmc_matricized(
-                    tensor,
-                    factors,
-                    mode,
-                    symbolic=symbolic[mode],
-                    block_nnz=options.block_nnz,
-                )
-            with timings.time("trsvd"):
-                result = truncated_svd(
-                    y_mat,
-                    ranks[mode],
-                    method=options.trsvd_method,
-                    **(
-                        {"tol": options.trsvd_tol, "seed": options.seed}
-                        if options.trsvd_method == "lanczos"
-                        else {}
-                    ),
-                )
-            factors[mode] = result.left
-            trsvd_stats.append(result)
-            if mode == tensor.order - 1:
-                last_ttmc = y_mat
-
-        with timings.time("core"):
-            core = core_from_ttmc(last_ttmc, factors[-1], ranks)
-
-        if options.track_fit:
-            with timings.time("fit"):
-                core_norm = float(np.linalg.norm(core.ravel()))
-                residual_sq = max(norm_x**2 - core_norm**2, 0.0)
-                fit = 1.0 - float(np.sqrt(residual_sq)) / norm_x if norm_x else 1.0
-            fit_history.append(fit)
-            if callback is not None:
-                callback(iteration, fit)
-            if iteration > 0:
-                improvement = fit_history[-1] - fit_history[-2]
-                if abs(improvement) < options.tolerance:
-                    converged = True
-                    break
-
-    decomposition = TuckerTensor(core=core, factors=list(factors))
-    return HOOIResult(
-        decomposition=decomposition,
-        fit_history=fit_history,
-        iterations=iterations_run,
-        converged=converged,
-        timings=timings,
-        trsvd_stats=trsvd_stats,
+    engine = HOOIEngine(
+        tensor, ranks, options, backend=SequentialBackend(), workspace=workspace
     )
+    return engine.run(callback=callback)
 
 
 def hooi_iteration_stats(result: HOOIResult) -> Dict[str, float]:

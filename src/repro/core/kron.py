@@ -15,11 +15,28 @@ Equivalently, ``kron_rows([a, b, c]) == np.kron(c, np.kron(b, a))``.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["kron_rows", "batch_kron_rows", "kron_row_length"]
+from repro.core.sparse_tensor import SUPPORTED_DTYPES
+
+__all__ = ["kron_rows", "batch_kron_rows", "kron_row_length", "kron_dtype"]
+
+
+def kron_dtype(*arrays) -> np.dtype:
+    """Compute dtype of a Kronecker product of the given operands.
+
+    Policy-dtype inputs keep their (promoted) precision — an all-``float32``
+    batch stays ``float32``, a mixed batch computes in ``float64`` — while any
+    operand outside the policy (integer, bool, half or extended precision)
+    promotes the whole product to ``float64`` exactly as before the dtype
+    policy existed.
+    """
+    dtypes = [np.asarray(a).dtype for a in arrays]
+    if not dtypes or not all(d in SUPPORTED_DTYPES for d in dtypes):
+        return np.dtype(np.float64)
+    return np.dtype(np.result_type(*dtypes))
 
 
 def kron_row_length(widths: Sequence[int]) -> int:
@@ -36,15 +53,18 @@ def kron_rows(rows: Sequence[np.ndarray]) -> np.ndarray:
     ``kron_rows([a])`` returns a copy of ``a``; an empty list yields ``[1.0]``
     (the empty product), which keeps order-1 corner cases well defined.
     """
-    result = np.ones(1, dtype=np.float64)
+    dtype = kron_dtype(*rows)
+    result = np.ones(1, dtype=dtype)
     for row in rows:
-        row = np.asarray(row, dtype=np.float64).ravel()
+        row = np.asarray(row, dtype=dtype).ravel()
         # new[j * len(result) + i] = row[j] * result[i]  -> earlier rows fastest
         result = (row[:, None] * result[None, :]).ravel()
     return result
 
 
-def batch_kron_rows(blocks: Sequence[np.ndarray]) -> np.ndarray:
+def batch_kron_rows(
+    blocks: Sequence[np.ndarray], *, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Row-wise Kronecker product of a batch.
 
     Each element of ``blocks`` is an array of shape ``(m, R_t)`` holding one
@@ -53,22 +73,45 @@ def batch_kron_rows(blocks: Sequence[np.ndarray]) -> np.ndarray:
 
     This is the workhorse of the numeric TTMc: the factor rows for a block of
     nonzeros are gathered with fancy indexing and combined here without any
-    Python-level per-nonzero loop.
+    Python-level per-nonzero loop.  ``out``, when given, receives the final
+    (largest) expansion step in place — the engine's workspace pool passes a
+    reused ``(m, prod R_t)`` scratch buffer here so the hot loop performs no
+    full-width allocation.
     """
     if len(blocks) == 0:
         raise ValueError("batch_kron_rows needs at least one block")
+    dtype = kron_dtype(*blocks)
     arrays: List[np.ndarray] = [
-        np.ascontiguousarray(np.asarray(b, dtype=np.float64)) for b in blocks
+        np.ascontiguousarray(np.asarray(b, dtype=dtype)) for b in blocks
     ]
     m = arrays[0].shape[0]
+    width = 1
     for a in arrays:
         if a.ndim != 2:
             raise ValueError("each block must be 2-D (nonzeros x rank)")
         if a.shape[0] != m:
             raise ValueError("all blocks must have the same number of rows")
+        width *= a.shape[1]
+    if out is not None and (out.shape != (m, width) or out.dtype != dtype):
+        raise ValueError(
+            f"out has shape {out.shape} / dtype {out.dtype}, expected "
+            f"{(m, width)} / {dtype}"
+        )
+    if len(arrays) == 1:
+        if out is None:
+            return arrays[0]
+        np.copyto(out, arrays[0])
+        return out
     result = arrays[0]
-    for block in arrays[1:]:
+    for block in arrays[1:-1]:
         # result: (m, W), block: (m, R)  ->  (m, R * W) with result fastest
-        m, width = result.shape
         result = (block[:, :, None] * result[:, None, :]).reshape(m, -1)
-    return result
+    last = arrays[-1]
+    if out is None:
+        return (last[:, :, None] * result[:, None, :]).reshape(m, -1)
+    np.multiply(
+        last[:, :, None],
+        result[:, None, :],
+        out=out.reshape(m, last.shape[1], result.shape[1]),
+    )
+    return out

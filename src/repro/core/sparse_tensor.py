@@ -6,6 +6,12 @@ provides that container together with the handful of structural operations
 every other subsystem needs: deduplication, mode matricization (as a SciPy
 CSR matrix), slicing by mode index, permutation of modes, conversion to and
 from dense arrays, and norm/fiber statistics.
+
+Values are stored in ``float64`` by default; ``float32`` is supported as a
+first-class storage dtype (the engine's dtype policy halves the memory
+traffic of the TTMc phase with it).  Structural operations preserve the
+storage dtype; anything that is not a supported float dtype is promoted to
+``float64`` on construction.
 """
 
 from __future__ import annotations
@@ -17,7 +23,40 @@ import scipy.sparse as sp
 
 from repro.util.validation import check_axis, check_shape_vector
 
-__all__ = ["SparseTensor"]
+__all__ = ["SparseTensor", "SUPPORTED_DTYPES", "resolve_dtype", "as_supported_float"]
+
+#: Value dtypes the library computes in (the engine's dtype policy).
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def as_supported_float(array) -> np.ndarray:
+    """Return ``array`` with a policy dtype: float32/float64 kept, rest promoted.
+
+    This is the single promotion rule every module applies to operands it
+    receives (tensor values, factor matrices, dense operators): the two
+    supported float dtypes pass through untouched, anything else — integers,
+    bools, half or extended precision — is promoted to ``float64``.
+    """
+    array = np.asarray(array)
+    if array.dtype not in SUPPORTED_DTYPES:
+        array = array.astype(np.float64)
+    return array
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Normalize a dtype policy specification to ``float32`` or ``float64``.
+
+    Accepts the strings ``"float32"``/``"float64"``, the NumPy scalar types,
+    or dtype objects; anything else is rejected so an engine never silently
+    computes in an unintended precision.
+    """
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported dtype {dtype!r}: the dtype policy allows "
+            "float32 or float64"
+        )
+    return resolved
 
 
 class SparseTensor:
@@ -37,6 +76,10 @@ class SparseTensor:
         arrays are used as-is (they are still validated).
     sum_duplicates:
         When ``True``, duplicate coordinates are merged by summing values.
+    dtype:
+        Storage dtype of the values (``float32`` or ``float64``).  When
+        omitted, a supported float dtype of the input is preserved and
+        everything else is promoted to ``float64``.
     """
 
     __slots__ = ("indices", "values", "shape")
@@ -49,10 +92,15 @@ class SparseTensor:
         *,
         copy: bool = True,
         sum_duplicates: bool = False,
+        dtype=None,
     ) -> None:
         shape = check_shape_vector(shape)
         indices = np.asarray(indices, dtype=np.int64)
-        values = np.asarray(values, dtype=np.float64)
+        values = np.asarray(values)
+        if dtype is not None:
+            values = values.astype(resolve_dtype(dtype), copy=False)
+        else:
+            values = as_supported_float(values)
         if copy:
             indices = indices.copy()
             values = values.copy()
@@ -92,7 +140,7 @@ class SparseTensor:
     def from_dense(cls, array: np.ndarray, *, tol: float = 0.0) -> "SparseTensor":
         """Build a sparse tensor from a dense array, dropping entries with
         ``abs(value) <= tol``."""
-        array = np.asarray(array, dtype=np.float64)
+        array = as_supported_float(array)
         if array.ndim == 0:
             raise ValueError("cannot build a SparseTensor from a scalar")
         mask = np.abs(array) > tol
@@ -101,12 +149,12 @@ class SparseTensor:
         return cls(coords, vals, array.shape, copy=False)
 
     @classmethod
-    def empty(cls, shape: Sequence[int]) -> "SparseTensor":
+    def empty(cls, shape: Sequence[int], *, dtype=np.float64) -> "SparseTensor":
         """An all-zero tensor of the given shape."""
         shape = check_shape_vector(shape)
         return cls(
             np.empty((0, len(shape)), dtype=np.int64),
-            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=resolve_dtype(dtype)),
             shape,
             copy=False,
         )
@@ -127,6 +175,11 @@ class SparseTensor:
     def nnz(self) -> int:
         """Number of stored nonzeros."""
         return int(self.values.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the values."""
+        return self.values.dtype
 
     @property
     def size(self) -> int:
@@ -153,6 +206,19 @@ class SparseTensor:
     def copy(self) -> "SparseTensor":
         return SparseTensor(self.indices, self.values, self.shape, copy=True)
 
+    def astype(self, dtype) -> "SparseTensor":
+        """Return the tensor with values stored in the given dtype.
+
+        A no-op (returning ``self``) when the dtype already matches, so the
+        engine can apply its dtype policy unconditionally without copying.
+        """
+        dtype = resolve_dtype(dtype)
+        if self.values.dtype == dtype:
+            return self
+        return SparseTensor(
+            self.indices, self.values.astype(dtype), self.shape, copy=False
+        )
+
     def astype_shape(self, shape: Sequence[int]) -> "SparseTensor":
         """Return the same nonzeros viewed in a (possibly larger) shape."""
         return SparseTensor(self.indices, self.values, shape, copy=False)
@@ -167,7 +233,7 @@ class SparseTensor:
         uniq_mask[0] = True
         np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=uniq_mask[1:])
         group_ids = np.cumsum(uniq_mask) - 1
-        summed = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+        summed = np.zeros(int(group_ids[-1]) + 1, dtype=self.values.dtype)
         np.add.at(summed, group_ids, self.values[order])
         first_pos = order[uniq_mask]
         self.indices = self.indices[first_pos]
@@ -239,7 +305,7 @@ class SparseTensor:
             raise MemoryError(
                 f"refusing to densify a tensor with {self.size} entries"
             )
-        out = np.zeros(self.shape, dtype=np.float64)
+        out = np.zeros(self.shape, dtype=self.values.dtype)
         if self.nnz:
             np.add.at(out, tuple(self.indices.T), self.values)
         return out

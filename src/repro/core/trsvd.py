@@ -30,6 +30,7 @@ from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.sparse_tensor import as_supported_float
 from repro.util.linalg import gram_leading_eigvecs
 
 __all__ = [
@@ -60,19 +61,25 @@ class LinearOperator:
 
     def matmat(self, block: np.ndarray) -> np.ndarray:
         """Apply the operator to each column of ``block`` (default: loop)."""
-        block = np.asarray(block, dtype=np.float64)
+        block = np.asarray(block)
         return np.column_stack([self.matvec(block[:, j]) for j in range(block.shape[1])])
 
     def rmatmat(self, block: np.ndarray) -> np.ndarray:
-        block = np.asarray(block, dtype=np.float64)
+        block = np.asarray(block)
         return np.column_stack([self.rmatvec(block[:, j]) for j in range(block.shape[1])])
 
 
 class DenseOperator(LinearOperator):
-    """Wrap a dense ndarray as a :class:`LinearOperator` (BLAS2 products)."""
+    """Wrap a dense ndarray as a :class:`LinearOperator` (BLAS2 products).
+
+    The matrix's floating dtype is preserved — a ``float32`` TTMc result is
+    multiplied as ``float32`` (the solver's own vectors stay ``float64``, and
+    mixed products promote exactly), so the dtype policy never forces an
+    up-conversion copy of the big matricized operand.
+    """
 
     def __init__(self, matrix: np.ndarray) -> None:
-        self.matrix = np.asarray(matrix, dtype=np.float64)
+        self.matrix = as_supported_float(matrix)
         if self.matrix.ndim != 2:
             raise ValueError("DenseOperator expects a 2-D array")
         self.shape = self.matrix.shape
@@ -136,7 +143,7 @@ class TRSVDResult:
 def _as_operator(matrix: Union[np.ndarray, LinearOperator]) -> LinearOperator:
     if isinstance(matrix, LinearOperator):
         return matrix
-    return DenseOperator(np.asarray(matrix, dtype=np.float64))
+    return DenseOperator(np.asarray(matrix))
 
 
 def lanczos_svd(

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core.dense import fold
 from repro.core.kron import batch_kron_rows
-from repro.core.sparse_tensor import SparseTensor
+from repro.core.sparse_tensor import SparseTensor, as_supported_float
 from repro.util.validation import check_axis
 
 __all__ = ["SemiSparseTensor", "sparse_ttm", "sparse_ttv", "sparse_ttm_chain"]
@@ -79,7 +79,7 @@ class SemiSparseTensor:
             raise ValueError(
                 f"remaining mode is {self.remaining_modes[0]}, not {mode}"
             )
-        out = np.zeros((self.shape[0], self.block_width), dtype=np.float64)
+        out = np.zeros((self.shape[0], self.block_width), dtype=self.blocks.dtype)
         if self.nnz:
             out[self.indices[:, 0]] += self.blocks
         return out
@@ -118,7 +118,7 @@ def sparse_ttm(
     ``R_n`` block per surviving coordinate (equation (3) of the paper).
     """
     mode = check_axis(mode, tensor.order)
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = as_supported_float(matrix)
     if matrix.ndim != 2 or matrix.shape[0] != tensor.shape[mode]:
         raise ValueError(
             f"matrix must be ({tensor.shape[mode]} x R), got {matrix.shape}"
@@ -145,7 +145,7 @@ def _semi_ttm(semi: SemiSparseTensor, matrix: np.ndarray, mode: int,
     if mode not in semi.remaining_modes:
         raise ValueError(f"mode {mode} is not a remaining mode of this tensor")
     col = semi.remaining_modes.index(mode)
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = as_supported_float(matrix)
     if matrix.shape[0] != semi.shape[col]:
         raise ValueError(
             f"matrix must have {semi.shape[col]} rows, got {matrix.shape[0]}"

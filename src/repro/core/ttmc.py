@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.kron import batch_kron_rows, kron_row_length
+from repro.core.kron import batch_kron_rows, kron_dtype, kron_row_length
 from repro.core.sparse_tensor import SparseTensor
 from repro.core.symbolic import ModeSymbolic, symbolic_ttmc
 from repro.util.validation import check_axis, check_same_order
@@ -32,6 +32,7 @@ from repro.util.validation import check_axis, check_same_order
 __all__ = [
     "ttmc_matricized",
     "ttmc_contributions",
+    "ttmc_dtype",
     "ttmc_flops",
     "default_block_size",
     "gather_ranges",
@@ -41,11 +42,19 @@ __all__ = [
 _DEFAULT_BLOCK_NNZ = 65536
 
 
-def default_block_size(kron_width: int, *, budget_bytes: int = 64 << 20) -> int:
+def default_block_size(
+    kron_width: int, *, budget_bytes: int = 64 << 20, itemsize: int = 8
+) -> int:
     """Pick a nonzero block size so the Kronecker buffer stays under ``budget_bytes``."""
     kron_width = max(int(kron_width), 1)
-    block = budget_bytes // (8 * kron_width)
+    block = budget_bytes // (max(int(itemsize), 1) * kron_width)
     return int(min(_DEFAULT_BLOCK_NNZ, max(1024, block)))
+
+
+def ttmc_dtype(tensor: SparseTensor, factors, mode: int) -> np.dtype:
+    """Promoted compute dtype of a TTMc (float32 only when everything is)."""
+    operands = [tensor.values] + [f for t, f in enumerate(factors) if t != mode]
+    return kron_dtype(*[np.asarray(a) for a in operands if a is not None])
 
 
 def gather_ranges(source: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -118,12 +127,13 @@ def ttmc_contributions(
     check_same_order(tensor.order, factors, "factors")
     widths = _factor_widths(factors, tensor.shape, mode)
     width = kron_row_length(widths)
+    dtype = ttmc_dtype(tensor, factors, mode)
     positions = np.asarray(nonzero_positions, dtype=np.int64)
-    out = np.empty((positions.shape[0], width), dtype=np.float64)
+    out = np.empty((positions.shape[0], width), dtype=dtype)
     if block_nnz is None:
-        block_nnz = default_block_size(width)
+        block_nnz = default_block_size(width, itemsize=dtype.itemsize)
     factor_arrays = [
-        None if t == mode else np.asarray(factors[t], dtype=np.float64)
+        None if t == mode else np.asarray(factors[t], dtype=dtype)
         for t in range(tensor.order)
     ]
     for start in range(0, positions.shape[0], block_nnz):
@@ -166,6 +176,7 @@ def ttmc_matricized(
     rows: Optional[np.ndarray] = None,
     block_nnz: Optional[int] = None,
     out: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> np.ndarray:
     """Mode-``n`` matricized TTMc result ``Y_(n) = (X ×_{-n} Uᵀ)_(n)``.
 
@@ -190,6 +201,11 @@ def ttmc_matricized(
         temporary Kronecker buffer to ~64 MB).
     out:
         Optional preallocated ``(I_n, prod R_t)`` output buffer (zeroed here).
+    workspace:
+        Optional :class:`repro.engine.workspace.WorkspacePool` supplying the
+        per-block Kronecker scratch buffer, so repeated calls (one per mode
+        per HOOI iteration) stop allocating the widest temporary.  Not
+        thread-safe: pass ``None`` from concurrent workers.
 
     Returns
     -------
@@ -200,12 +216,16 @@ def ttmc_matricized(
     widths = _factor_widths(factors, tensor.shape, mode)
     width = kron_row_length(widths)
     n_rows = tensor.shape[mode]
+    dtype = ttmc_dtype(tensor, factors, mode)
 
     if out is None:
-        out = np.zeros((n_rows, width), dtype=np.float64)
+        out = np.zeros((n_rows, width), dtype=dtype)
     else:
-        if out.shape != (n_rows, width):
-            raise ValueError(f"out has shape {out.shape}, expected {(n_rows, width)}")
+        if out.shape != (n_rows, width) or out.dtype != dtype:
+            raise ValueError(
+                f"out has shape {out.shape} / dtype {out.dtype}, expected "
+                f"{(n_rows, width)} / {dtype}"
+            )
         out[:] = 0.0
 
     if tensor.nnz == 0:
@@ -221,10 +241,10 @@ def ttmc_matricized(
         return out
 
     if block_nnz is None:
-        block_nnz = default_block_size(width)
+        block_nnz = default_block_size(width, itemsize=dtype.itemsize)
 
     factor_arrays = [
-        None if t == mode else np.asarray(factors[t], dtype=np.float64)
+        None if t == mode else np.asarray(factors[t], dtype=dtype)
         for t in range(tensor.order)
     ]
 
@@ -237,7 +257,15 @@ def ttmc_matricized(
             for t in range(tensor.order)
             if t != mode
         ]
-        kron = batch_kron_rows(blocks)
+        # The scratch must never alias ``out`` (we accumulate into ``out``
+        # below while the scratch still holds this block's rows), so it draws
+        # from a distinct pool namespace even when the shapes coincide.
+        scratch = (
+            workspace.take((chunk.shape[0], width), dtype, tag="kron-scratch")
+            if workspace is not None and len(blocks) > 1
+            else None
+        )
+        kron = batch_kron_rows(blocks, out=scratch)
         kron *= tensor.values[chunk][:, None]
         # chunk_rows is non-decreasing (positions are grouped by row), so the
         # accumulation is a segment-sum: reduce each run of equal rows, then

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.core.dense import dense_ttm_chain, fold, tensor_norm, unfold
 from repro.core.kron import batch_kron_rows
-from repro.core.sparse_tensor import SparseTensor
+from repro.core.sparse_tensor import SparseTensor, as_supported_float
 from repro.core.ttmc import ttmc_matricized
 from repro.util.validation import check_same_order
 
@@ -29,8 +29,8 @@ class TuckerTensor:
     factors: List[np.ndarray]
 
     def __post_init__(self) -> None:
-        self.core = np.asarray(self.core, dtype=np.float64)
-        self.factors = [np.asarray(f, dtype=np.float64) for f in self.factors]
+        self.core = as_supported_float(self.core)
+        self.factors = [as_supported_float(f) for f in self.factors]
         if self.core.ndim != len(self.factors):
             raise ValueError(
                 f"core has order {self.core.ndim} but there are "

@@ -14,15 +14,19 @@ and once per iteration the core tensor is formed from the last mode's TTMc
 with a local GEMM followed by an all-reduce (lines 15-16), from which every
 rank evaluates the fit.
 
-The driver :func:`distributed_hooi` builds the plans, runs the SPMD program on
-the simulated MPI world, checks that all ranks agree, and packages the
-numerical results together with the per-rank work / communication / simulated
-time statistics that the paper's Tables II-IV report.
+The per-rank iteration loop is the engine's
+(:class:`repro.engine.driver.HOOIEngine`); :class:`DistributedBackend` plugs
+the rank-local TTMc, the communication-aware TRSVD + factor exchange and the
+all-reduced core formation into its hook points, and additionally keeps the
+per-rank work / communication / simulated-time statistics that the paper's
+Tables II-IV report.  The driver :func:`distributed_hooi` builds the plans,
+runs the SPMD program on the simulated MPI world, checks that all ranks
+agree, and packages the results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +42,8 @@ from repro.distributed.dist_trsvd import (
 )
 from repro.distributed.factor_exchange import exchange_factor_rows
 from repro.distributed.plan import GlobalPlan, RankPlan, build_plans
+from repro.engine.backend import ExecutionBackend
+from repro.engine.driver import HOOIEngine
 from repro.parallel.shared_ttmc import ttmc_row_block
 from repro.parallel.work import core_phase_work, ttmc_phase_work
 from repro.partition.strategies import TensorPartition
@@ -46,7 +52,22 @@ from repro.simmpi.launcher import run_spmd
 from repro.simmpi.machine import BGQ_MACHINE, MachineModel
 from repro.util.validation import check_rank_vector
 
-__all__ = ["RankRunResult", "DistributedHOOIResult", "distributed_hooi", "hooi_rank_program"]
+__all__ = [
+    "RankRunResult",
+    "DistributedHOOIResult",
+    "DistributedBackend",
+    "distributed_hooi",
+    "hooi_rank_program",
+]
+
+
+def _check_trsvd_method(options: HOOIOptions) -> None:
+    """Only the Lanczos TRSVD has a distributed implementation (Section III-B)."""
+    if options.trsvd_method != "lanczos":
+        raise ValueError(
+            "the distributed driver supports only trsvd_method='lanczos', "
+            f"got {options.trsvd_method!r}"
+        )
 
 
 @dataclass
@@ -64,6 +85,8 @@ class RankRunResult:
     ttmc_work: List[int]                      # W_TTMc per mode (contributions)
     trsvd_rows: List[int]                     # W_TRSVD per mode (rows multiplied)
     trsvd_iterations: List[int]               # restart counts observed
+    iterations: int = 0                       # iterations executed by the engine
+    converged: bool = False                   # engine convergence decision
 
 
 @dataclass
@@ -102,6 +125,149 @@ class DistributedHOOIResult:
         return {k: v / grand for k, v in totals.items()}
 
 
+class DistributedBackend(ExecutionBackend):
+    """Per-rank execution of Algorithm 4 behind the engine's hook points.
+
+    Besides executing the three heavy steps with the plan's communication
+    schedules, the backend advances the rank's simulated clock through the
+    machine model and accumulates the per-phase / per-mode statistics the
+    experiment tables report.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        comm: Communicator,
+        plan: RankPlan,
+        global_plan: GlobalPlan,
+        initial_factors: List[np.ndarray],
+    ) -> None:
+        self.comm = comm
+        self.plan = plan
+        self.global_plan = global_plan
+        self._initial_factors = initial_factors
+        # Per-rank statistics accumulated through the hooks (wall-clock
+        # iteration times come from the engine's own ``iteration_seconds``).
+        self.iteration_sim_times: List[float] = []
+        self.phase_sim: Dict[str, float] = {"ttmc": 0.0, "trsvd": 0.0, "core": 0.0}
+        self.per_mode_comm: List[int] = [0] * plan.order
+        self.trsvd_iteration_counts: List[int] = []
+        self._block_rows: Optional[np.ndarray] = None
+        self._mode_comm_before = 0
+        self._iter_clock_start = 0.0
+
+    # -- setup ----------------------------------------------------------- #
+    def tensor_norm(self, eng) -> float:
+        return self.global_plan.norm_x
+
+    def initial_factors(self, eng) -> List[np.ndarray]:
+        return [np.array(f, copy=True) for f in self._initial_factors]
+
+    def prepare(self, eng) -> None:
+        # Fail fast when the backend is driven directly (the driver already
+        # checks before launching the SPMD world).
+        _check_trsvd_method(eng.options)
+        # Positions of the compute rows inside the local symbolic row lists
+        # (fine grain: every local row; coarse grain: the owned slices).
+        self.compute_positions: List[np.ndarray] = []
+        for mode in range(eng.order):
+            sym_rows = self.plan.symbolic[mode].rows
+            targets = self.plan.modes[mode].compute_rows
+            if targets.size and sym_rows.size:
+                pos = np.flatnonzero(np.isin(sym_rows, targets))
+            else:
+                pos = np.empty(0, dtype=np.int64)
+            self.compute_positions.append(pos.astype(np.int64))
+
+    # -- hooks: clocks and communication counters ------------------------ #
+    def on_iteration_start(self, eng, iteration: int) -> None:
+        self._iter_clock_start = self.comm.clock.now
+
+    def on_iteration_end(self, eng, iteration: int) -> None:
+        self.iteration_sim_times.append(self.comm.clock.now - self._iter_clock_start)
+
+    def on_mode_start(self, eng, mode: int) -> None:
+        self._mode_comm_before = self.comm.stats.total_bytes
+
+    def on_mode_end(self, eng, mode: int) -> None:
+        self.per_mode_comm[mode] += (
+            self.comm.stats.total_bytes - self._mode_comm_before
+        )
+
+    # -- the three heavy steps ------------------------------------------- #
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        """Local numeric TTMc over the rank's update lists (lines 9-12)."""
+        clock_before = self.comm.clock.now
+        positions = self.compute_positions[mode]
+        block = ttmc_row_block(
+            eng.tensor,
+            eng.factors,
+            mode,
+            self.plan.symbolic[mode],
+            positions,
+            block_nnz=eng.options.block_nnz,
+        )
+        self._block_rows = self.plan.symbolic[mode].rows[positions]
+        self.comm.advance_compute(
+            self.comm.machine.compute_time(
+                ttmc_phase_work(
+                    self.plan.ttmc_nonzeros[mode], eng.order, eng.ranks, mode
+                )
+            ),
+            category="ttmc",
+        )
+        self.phase_sim["ttmc"] += self.comm.clock.now - clock_before
+        return block
+
+    def update_factor(self, eng, mode: int, block: np.ndarray):
+        """Distributed TRSVD (line 13) + factor-row exchange (line 14)."""
+        clock_before = self.comm.clock.now
+        mode_plan = self.plan.modes[mode]
+        op = DistributedTTMcMatrix(self.comm, mode_plan, self._block_rows, block)
+        trsvd = distributed_lanczos_svd(
+            op,
+            eng.ranks[mode],
+            tol=eng.options.trsvd_tol,
+            seed=eng.options.seed if eng.options.seed is not None else 0,
+        )
+        self.trsvd_iteration_counts.append(trsvd.iterations)
+
+        # The solver may return fewer columns than requested when the matrix
+        # has fewer non-empty rows than the rank (tiny tensors); the missing
+        # columns stay zero.
+        new_factor = np.zeros(
+            (self.plan.shape[mode], eng.ranks[mode]), dtype=eng.dtype
+        )
+        got = trsvd.left_owned.shape[1]
+        new_factor[mode_plan.owned_nonempty_rows, :got] = trsvd.left_owned
+        exchange_factor_rows(self.comm, mode_plan.factor_exchange, new_factor)
+        self.phase_sim["trsvd"] += self.comm.clock.now - clock_before
+        return new_factor, None
+
+    def form_core(self, eng, last_block: np.ndarray) -> np.ndarray:
+        """Core tensor: local GEMM on ``Y_(N)`` + all-reduce (lines 15-16)."""
+        clock_before = self.comm.clock.now
+        last_rows = self._block_rows
+        if last_rows is not None and last_rows.size:
+            core_local = eng.factors[-1][last_rows].T @ last_block
+        else:
+            width = int(np.prod([eng.ranks[t] for t in range(eng.order - 1)]))
+            core_local = np.zeros((eng.ranks[-1], width), dtype=eng.dtype)
+        self.comm.advance_compute(
+            self.comm.machine.compute_time(
+                core_phase_work(
+                    int(last_rows.size) if last_rows is not None else 0, eng.ranks
+                )
+            ),
+            category="core",
+        )
+        core_mat = self.comm.allreduce(core_local)
+        core = fold(core_mat, eng.order - 1, eng.ranks)
+        self.phase_sim["core"] += self.comm.clock.now - clock_before
+        return core
+
+
 def hooi_rank_program(
     comm: Communicator,
     plans: List[RankPlan],
@@ -110,137 +276,32 @@ def hooi_rank_program(
     options: HOOIOptions,
 ) -> RankRunResult:
     """The SPMD body executed by every simulated rank (Algorithm 4)."""
-    import time as _time
-
     plan = plans[comm.rank]
-    order = plan.order
-    ranks = plan.ranks_requested
-    machine = comm.machine
-    factors = [np.array(f, dtype=np.float64, copy=True) for f in initial_factors]
-    norm_x = global_plan.norm_x
-
-    # Positions of the compute rows inside the local symbolic row lists
-    # (fine grain: every local row; coarse grain: the owned slices).
-    compute_positions: List[np.ndarray] = []
-    for mode in range(order):
-        sym_rows = plan.symbolic[mode].rows
-        targets = plan.modes[mode].compute_rows
-        if targets.size and sym_rows.size:
-            pos = np.flatnonzero(np.isin(sym_rows, targets))
-        else:
-            pos = np.empty(0, dtype=np.int64)
-        compute_positions.append(pos.astype(np.int64))
-
-    fit_history: List[float] = []
-    iteration_sim_times: List[float] = []
-    iteration_wall_times: List[float] = []
-    phase_sim: Dict[str, float] = {"ttmc": 0.0, "trsvd": 0.0, "core": 0.0}
-    per_mode_comm = [0] * order
-    trsvd_iteration_counts: List[int] = []
-    core = np.zeros(ranks, dtype=np.float64)
-    converged = False
-
-    for iteration in range(options.max_iterations):
-        iter_clock_start = comm.clock.now
-        iter_wall_start = _time.perf_counter()
-        last_block: Optional[np.ndarray] = None
-        last_rows: Optional[np.ndarray] = None
-        for mode in range(order):
-            mode_plan = plan.modes[mode]
-            comm_before = comm.stats.total_bytes
-            # ---- local numeric TTMc (lines 9-12) -------------------------
-            clock_before = comm.clock.now
-            positions = compute_positions[mode]
-            block = ttmc_row_block(
-                plan.local_tensor,
-                factors,
-                mode,
-                plan.symbolic[mode],
-                positions,
-                block_nnz=options.block_nnz,
-            )
-            block_rows = plan.symbolic[mode].rows[positions]
-            comm.advance_compute(
-                machine.compute_time(
-                    ttmc_phase_work(plan.ttmc_nonzeros[mode], order, ranks, mode)
-                ),
-                category="ttmc",
-            )
-            phase_sim["ttmc"] += comm.clock.now - clock_before
-
-            # ---- distributed TRSVD (line 13) -----------------------------
-            clock_before = comm.clock.now
-            op = DistributedTTMcMatrix(comm, mode_plan, block_rows, block)
-            trsvd = distributed_lanczos_svd(
-                op,
-                ranks[mode],
-                tol=options.trsvd_tol,
-                seed=options.seed if options.seed is not None else 0,
-            )
-            trsvd_iteration_counts.append(trsvd.iterations)
-
-            # ---- refresh U_n and exchange rows (line 14) -----------------
-            # The solver may return fewer columns than requested when the
-            # matrix has fewer non-empty rows than the rank (tiny tensors);
-            # the missing columns stay zero.
-            new_factor = np.zeros((plan.shape[mode], ranks[mode]), dtype=np.float64)
-            got = trsvd.left_owned.shape[1]
-            new_factor[mode_plan.owned_nonempty_rows, :got] = trsvd.left_owned
-            exchange_factor_rows(comm, mode_plan.factor_exchange, new_factor)
-            factors[mode] = new_factor
-            phase_sim["trsvd"] += comm.clock.now - clock_before
-
-            per_mode_comm[mode] += comm.stats.total_bytes - comm_before
-            if mode == order - 1:
-                last_block = block
-                last_rows = block_rows
-
-        # ---- core tensor (lines 15-16) -----------------------------------
-        clock_before = comm.clock.now
-        if last_rows is not None and last_rows.size:
-            core_local = factors[-1][last_rows].T @ last_block
-        else:
-            width = int(np.prod([ranks[t] for t in range(order - 1)]))
-            core_local = np.zeros((ranks[-1], width), dtype=np.float64)
-        comm.advance_compute(
-            machine.compute_time(
-                core_phase_work(int(last_rows.size) if last_rows is not None else 0, ranks)
-            ),
-            category="core",
-        )
-        core_mat = comm.allreduce(core_local)
-        core = fold(core_mat, order - 1, ranks)
-        phase_sim["core"] += comm.clock.now - clock_before
-
-        # ---- fit / convergence (identical decision on every rank) --------
-        core_norm = float(np.linalg.norm(core.ravel()))
-        residual_sq = max(norm_x**2 - core_norm**2, 0.0)
-        fit = 1.0 - float(np.sqrt(residual_sq)) / norm_x if norm_x else 1.0
-        fit_history.append(fit)
-        iteration_sim_times.append(comm.clock.now - iter_clock_start)
-        iteration_wall_times.append(_time.perf_counter() - iter_wall_start)
-        if options.track_fit and iteration > 0:
-            if abs(fit_history[-1] - fit_history[-2]) < options.tolerance:
-                converged = True
-                break
+    backend = DistributedBackend(comm, plan, global_plan, initial_factors)
+    engine = HOOIEngine(
+        plan.local_tensor, plan.ranks_requested, options, backend=backend
+    )
+    result = engine.run()
 
     owned_factor_rows = [
         (plan.modes[mode].owned_nonempty_rows,
-         factors[mode][plan.modes[mode].owned_nonempty_rows].copy())
-        for mode in range(order)
+         engine.factors[mode][plan.modes[mode].owned_nonempty_rows].copy())
+        for mode in range(plan.order)
     ]
     return RankRunResult(
         rank=comm.rank,
-        fit_history=fit_history,
-        core=core,
+        fit_history=list(result.fit_history),
+        core=result.decomposition.core,
         owned_factor_rows=owned_factor_rows,
-        iteration_sim_times=iteration_sim_times,
-        iteration_wall_times=iteration_wall_times,
-        phase_sim_times=phase_sim,
-        per_mode_comm_bytes=per_mode_comm,
+        iteration_sim_times=backend.iteration_sim_times,
+        iteration_wall_times=list(engine.iteration_seconds),
+        phase_sim_times=backend.phase_sim,
+        per_mode_comm_bytes=backend.per_mode_comm,
         ttmc_work=list(plan.ttmc_nonzeros),
         trsvd_rows=[mp.trsvd_rows for mp in plan.modes],
-        trsvd_iterations=trsvd_iteration_counts,
+        trsvd_iterations=backend.trsvd_iteration_counts,
+        iterations=result.iterations,
+        converged=result.converged,
     )
 
 
@@ -254,6 +315,7 @@ def distributed_hooi(
 ) -> DistributedHOOIResult:
     """Run Algorithm 4 on the simulated MPI world and assemble the results."""
     options = options or HOOIOptions()
+    _check_trsvd_method(options)
     ranks = check_rank_vector(ranks, tensor.shape)
     global_plan, plans = build_plans(tensor, partition, ranks)
     initial_factors = initialize_factors(
@@ -279,7 +341,7 @@ def distributed_hooi(
 
     # Assemble the factor matrices from the owned rows.
     factors = [
-        np.zeros((tensor.shape[mode], ranks[mode]), dtype=np.float64)
+        np.zeros((tensor.shape[mode], ranks[mode]), dtype=reference.core.dtype)
         for mode in range(tensor.order)
     ]
     for rr in rank_results:
@@ -287,7 +349,7 @@ def distributed_hooi(
             factors[mode][rows] = values
 
     decomposition = TuckerTensor(core=reference.core, factors=factors)
-    iterations = len(reference.fit_history)
+    iterations = reference.iterations
     sim_times = np.array(
         [
             max(rr.iteration_sim_times[i] for rr in rank_results)
@@ -304,7 +366,7 @@ def distributed_hooi(
         decomposition=decomposition,
         fit_history=list(reference.fit_history),
         iterations=iterations,
-        converged=len(reference.fit_history) < options.max_iterations,
+        converged=reference.converged,
         rank_results=rank_results,
         strategy=partition.strategy,
         num_ranks=partition.num_parts,

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.sparse_tensor import as_supported_float
 from repro.distributed.plan import ModePlan
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.machine import MachineModel
@@ -74,7 +75,9 @@ class DistributedTTMcMatrix:
         self.comm = comm
         self.plan = mode_plan
         self.block_rows = np.asarray(block_rows, dtype=np.int64)
-        self.local_block = np.ascontiguousarray(local_block, dtype=np.float64)
+        # A float32 block (the engine's dtype policy) is multiplied as
+        # float32; the solver's own float64 vectors promote products exactly.
+        self.local_block = np.ascontiguousarray(as_supported_float(local_block))
         if self.local_block.shape[0] != self.block_rows.shape[0]:
             raise ValueError("local_block must have one row per block row")
         self.ncols = int(self.local_block.shape[1])

@@ -1,0 +1,28 @@
+"""The unified HOOI execution engine.
+
+One driver loop (:class:`~repro.engine.driver.HOOIEngine`), pluggable
+execution backends (:mod:`repro.engine.backend`), pooled workspaces
+(:mod:`repro.engine.workspace`) and the ``float32``/``float64`` dtype policy
+shared by the sequential, shared-memory and distributed HOOI drivers.
+"""
+
+from repro.engine.backend import (
+    ExecutionBackend,
+    SequentialBackend,
+    ThreadedBackend,
+    parallel_symbolic,
+    trsvd_kwargs,
+)
+from repro.engine.driver import HOOIEngine, hooi_fit
+from repro.engine.workspace import WorkspacePool
+
+__all__ = [
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ThreadedBackend",
+    "parallel_symbolic",
+    "trsvd_kwargs",
+    "HOOIEngine",
+    "hooi_fit",
+    "WorkspacePool",
+]

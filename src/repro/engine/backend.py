@@ -1,0 +1,202 @@
+"""Execution backends for the unified HOOI engine.
+
+The engine (:mod:`repro.engine.driver`) owns the *iteration state machine* —
+init, symbolic reuse, the per-mode sweep, core formation, fit tracking and
+convergence.  What varies between the sequential, shared-memory and
+distributed drivers is only *how* the three heavy steps are executed:
+
+* the numeric TTMc of a mode (``compute_ttmc``),
+* the truncated SVD refreshing that mode's factor (``update_factor``),
+* the core-tensor formation from the last mode's TTMc (``form_core``),
+
+plus where the tensor norm comes from and how the initial factors are
+produced.  :class:`ExecutionBackend` is that seam.  The engine calls the
+hooks in a fixed order; backends may keep per-run state (symbolic data,
+communicators, clocks) between calls.
+
+Call order per run::
+
+    prepare_tensor -> initial_factors -> prepare ->
+    [ on_iteration_start ->
+        ( on_mode_start -> compute_ttmc -> update_factor -> on_mode_end )*N ->
+        form_core -> on_iteration_end ]* -> (fit/convergence in the engine)
+
+Two backends live here: :class:`SequentialBackend` (the paper's Algorithm 1/3
+without ``parfor``) and :class:`ThreadedBackend` (Algorithm 3: parallel
+symbolic, row-parallel lock-free numeric TTMc).  The distributed per-rank
+backend lives in :mod:`repro.distributed.dist_hooi` next to the plan/exchange
+machinery it drives, and the baselines provide TTM-chain (MET) and dense
+(Gram) backends — all five drivers share this one loop.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hosvd import initialize_factors
+from repro.core.sparse_tensor import SparseTensor
+from repro.core.symbolic import ModeSymbolic, symbolic_ttmc
+from repro.core.trsvd import TRSVDResult, truncated_svd
+from repro.core.ttmc import ttmc_matricized
+from repro.core.tucker import core_from_ttmc
+from repro.core.kron import kron_row_length
+
+__all__ = [
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ThreadedBackend",
+    "trsvd_kwargs",
+    "parallel_symbolic",
+]
+
+
+def trsvd_kwargs(options) -> dict:
+    """Solver keyword arguments implied by :class:`HOOIOptions`.
+
+    The Lanczos solver takes the tolerance and seed; the randomized
+    (Halko-style) range finder is seeded for reproducibility; the dense and
+    Gram baselines take no knobs.
+    """
+    if options.trsvd_method == "lanczos":
+        return {"tol": options.trsvd_tol, "seed": options.seed}
+    if options.trsvd_method == "randomized":
+        return {"seed": options.seed}
+    return {}
+
+
+def parallel_symbolic(tensor: SparseTensor, num_threads: int) -> Dict[int, ModeSymbolic]:
+    """Build the symbolic data of every mode, one task per mode (parfor n)."""
+    modes = list(range(tensor.order))
+    if num_threads <= 1 or len(modes) == 1:
+        return {mode: symbolic_ttmc(tensor, mode) for mode in modes}
+    with ThreadPoolExecutor(max_workers=min(num_threads, len(modes))) as pool:
+        futures = {mode: pool.submit(symbolic_ttmc, tensor, mode) for mode in modes}
+        return {mode: fut.result() for mode, fut in futures.items()}
+
+
+class ExecutionBackend:
+    """How one HOOI engine run executes its heavy steps.
+
+    The base class implements the sequential single-process behaviour; the
+    engine is usable with it directly (``SequentialBackend`` only adds the
+    name).  Subclasses override the pieces they execute differently and may
+    use the no-op iteration/mode hooks to maintain clocks or communication
+    statistics.
+    """
+
+    name = "sequential"
+
+    # -- setup ----------------------------------------------------------- #
+    def prepare_tensor(self, eng) -> None:
+        """Apply the engine's dtype policy to the input tensor."""
+        if isinstance(eng.tensor, SparseTensor):
+            eng.tensor = eng.tensor.astype(eng.dtype)
+
+    def tensor_norm(self, eng) -> float:
+        """Frobenius norm of the full input tensor."""
+        return eng.tensor.norm()
+
+    def initial_factors(self, eng) -> List[np.ndarray]:
+        """Produce the initial factor matrices (cast to dtype by the engine)."""
+        return initialize_factors(
+            eng.tensor, eng.ranks, init=eng.options.init, seed=eng.options.seed
+        )
+
+    def prepare(self, eng) -> None:
+        """Build per-run reusable state (the symbolic TTMc data)."""
+        self.symbolic = {
+            mode: symbolic_ttmc(eng.tensor, mode) for mode in range(eng.order)
+        }
+
+    # -- the three heavy steps ------------------------------------------- #
+    def _pooled_out(self, eng, mode: int) -> np.ndarray:
+        """The pooled ``(I_n, ∏R_t)`` output buffer for this mode's TTMc."""
+        width = kron_row_length(
+            [eng.factors[t].shape[1] for t in range(eng.order) if t != mode]
+        )
+        return eng.workspace.take(
+            (eng.tensor.shape[mode], width), eng.dtype, tag="ttmc-out"
+        )
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        """Numeric TTMc of ``mode`` into a pooled ``(I_n, ∏R_t)`` buffer."""
+        return ttmc_matricized(
+            eng.tensor,
+            eng.factors,
+            mode,
+            symbolic=self.symbolic[mode],
+            block_nnz=eng.options.block_nnz,
+            out=self._pooled_out(eng, mode),
+            workspace=eng.workspace,
+        )
+
+    def update_factor(
+        self, eng, mode: int, y_mat: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[TRSVDResult]]:
+        """Refresh ``U_mode`` from ``Y_(mode)`` via the configured TRSVD."""
+        result = truncated_svd(
+            y_mat,
+            eng.ranks[mode],
+            method=eng.options.trsvd_method,
+            **trsvd_kwargs(eng.options),
+        )
+        return np.asarray(result.left, dtype=eng.dtype), result
+
+    def form_core(self, eng, last_ttmc: np.ndarray) -> np.ndarray:
+        """Fold the last mode's TTMc into the core tensor (one small GEMM)."""
+        return core_from_ttmc(last_ttmc, eng.factors[-1], eng.ranks)
+
+    # -- hooks (no-ops by default) --------------------------------------- #
+    def on_iteration_start(self, eng, iteration: int) -> None:
+        pass
+
+    def on_iteration_end(self, eng, iteration: int) -> None:
+        pass
+
+    def on_mode_start(self, eng, mode: int) -> None:
+        pass
+
+    def on_mode_end(self, eng, mode: int) -> None:
+        pass
+
+
+class SequentialBackend(ExecutionBackend):
+    """Single-threaded execution — the reference everything is validated against."""
+
+    name = "sequential"
+
+
+class ThreadedBackend(ExecutionBackend):
+    """Shared-memory execution (the paper's Algorithm 3).
+
+    The symbolic step runs one task per mode; the numeric TTMc distributes
+    the non-empty rows ``J_n`` over worker threads with the configured
+    schedule (lock-free: each row is written by exactly one worker).  The
+    TRSVD and core GEMM are BLAS-parallel as in the sequential backend.
+    """
+
+    name = "threaded"
+
+    def __init__(self, config=None) -> None:
+        from repro.parallel.parallel_for import ParallelConfig
+
+        self.config = config or ParallelConfig()
+
+    def prepare(self, eng) -> None:
+        self.symbolic = parallel_symbolic(eng.tensor, self.config.num_threads)
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        from repro.parallel.shared_ttmc import parallel_ttmc_matricized
+
+        return parallel_ttmc_matricized(
+            eng.tensor,
+            eng.factors,
+            mode,
+            symbolic=self.symbolic[mode],
+            config=self.config,
+            block_nnz=eng.options.block_nnz,
+            out=self._pooled_out(eng, mode),
+        )

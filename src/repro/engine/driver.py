@@ -1,0 +1,169 @@
+"""The unified HOOI driver loop.
+
+Every HOOI variant in this repository — sequential (Algorithm 1/3 minus the
+``parfor``), shared-memory (Algorithm 3), the distributed per-rank program
+(Algorithm 4), and the MET/dense baselines — iterates the same state machine:
+
+1. initialize the factor matrices;
+2. build reusable per-run state (the symbolic TTMc data) once;
+3. per iteration and per mode: numeric TTMc into the matricized ``Y_(n)``,
+   then a truncated SVD of ``Y_(n)`` refreshing ``U_n``;
+4. after the last mode, fold ``Y_(N)`` into the core tensor;
+5. track the fit ``1 - ||X - X̂|| / ||X||`` and stop when its improvement
+   falls below the tolerance.
+
+:class:`HOOIEngine` implements that loop exactly once.  *How* each heavy step
+runs is delegated to an :class:`~repro.engine.backend.ExecutionBackend`;
+*where* the big buffers come from is delegated to a
+:class:`~repro.engine.workspace.WorkspacePool` (the ``(I_n × ∏R_t)`` TTMc
+outputs and Kronecker scratch are reused across modes and iterations); and
+*what precision* everything computes in is the engine's dtype policy
+(``HOOIOptions.dtype``, ``float32`` or ``float64``, threaded through
+``SparseTensor → kron → ttmc → trsvd``).
+
+The public drivers (:func:`repro.core.hooi.hooi`,
+:func:`repro.parallel.shared_hooi.shared_hooi`,
+:func:`repro.distributed.dist_hooi.distributed_hooi`) are thin configuration
+wrappers over this class.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.hooi import HOOIOptions, HOOIResult
+from repro.core.sparse_tensor import resolve_dtype
+from repro.core.trsvd import TRSVDResult
+from repro.core.tucker import TuckerTensor
+from repro.engine.backend import ExecutionBackend, SequentialBackend
+from repro.engine.workspace import WorkspacePool
+from repro.util.timing import TimingBreakdown
+from repro.util.validation import check_rank_vector
+
+__all__ = ["HOOIEngine", "hooi_fit"]
+
+
+def hooi_fit(norm_x: float, core: np.ndarray) -> float:
+    """Fit ``1 - ||X - X̂|| / ||X||`` from the core norm (orthonormal factors).
+
+    With orthonormal factors the residual satisfies
+    ``||X - X̂||² = ||X||² - ||G||²``, so the fit needs no reconstruction —
+    this is the quantity every HOOI driver monitors for convergence.
+    """
+    if not norm_x:
+        return 1.0
+    core_norm = float(np.linalg.norm(np.asarray(core).ravel()))
+    residual_sq = max(norm_x**2 - core_norm**2, 0.0)
+    return 1.0 - float(np.sqrt(residual_sq)) / norm_x
+
+
+class HOOIEngine:
+    """One HOOI run: tensor + ranks + options + backend + workspace.
+
+    Backends receive the engine instance in every hook and read/write its
+    public state: ``tensor``, ``shape``, ``ranks``, ``order``, ``options``,
+    ``dtype``, ``factors``, ``workspace``, ``timings``.  After :meth:`run`,
+    ``iteration_seconds`` holds the measured wall time of each iteration's
+    sweep + core phases (what the scaling experiments report).
+    """
+
+    def __init__(
+        self,
+        tensor,
+        ranks,
+        options: Optional[HOOIOptions] = None,
+        *,
+        backend: Optional[ExecutionBackend] = None,
+        workspace: Optional[WorkspacePool] = None,
+    ) -> None:
+        self.options = options or HOOIOptions()
+        self.backend = backend or SequentialBackend()
+        self.dtype = resolve_dtype(self.options.dtype)
+        self.tensor = tensor
+        self.shape = tuple(int(s) for s in tensor.shape)
+        self.order = len(self.shape)
+        self.ranks = check_rank_vector(ranks, self.shape)
+        self.workspace = workspace or WorkspacePool()
+        self.timings = TimingBreakdown()
+        self.factors: Optional[List[np.ndarray]] = None
+        self.iteration_seconds: List[float] = []
+
+    def run(
+        self, *, callback: Optional[Callable[[int, float], None]] = None
+    ) -> HOOIResult:
+        """Execute the HOOI state machine and return the packaged result."""
+        options = self.options
+        backend = self.backend
+        timings = self.timings
+
+        backend.prepare_tensor(self)
+        with timings.time("init"):
+            self.factors = [
+                np.asarray(f, dtype=self.dtype)
+                for f in backend.initial_factors(self)
+            ]
+        with timings.time("symbolic"):
+            backend.prepare(self)
+
+        norm_x = backend.tensor_norm(self)
+        fit_history: List[float] = []
+        trsvd_stats: List[TRSVDResult] = []
+        converged = False
+        core = np.zeros(self.ranks, dtype=self.dtype)
+        iterations_run = 0
+
+        for iteration in range(options.max_iterations):
+            iterations_run = iteration + 1
+            backend.on_iteration_start(self, iteration)
+            sweep_start = time.perf_counter()
+            last_ttmc: Optional[np.ndarray] = None
+
+            for mode in range(self.order):
+                backend.on_mode_start(self, mode)
+                with timings.time("ttmc"):
+                    y_mat = backend.compute_ttmc(self, mode)
+                with timings.time("trsvd"):
+                    new_factor, stats = backend.update_factor(self, mode, y_mat)
+                self.factors[mode] = new_factor
+                if stats is not None:
+                    trsvd_stats.append(stats)
+                backend.on_mode_end(self, mode)
+                if mode == self.order - 1:
+                    last_ttmc = y_mat
+
+            with timings.time("core"):
+                core = backend.form_core(self, last_ttmc)
+            self.iteration_seconds.append(time.perf_counter() - sweep_start)
+            backend.on_iteration_end(self, iteration)
+
+            if options.track_fit:
+                with timings.time("fit"):
+                    fit = hooi_fit(norm_x, core)
+                fit_history.append(fit)
+                if callback is not None:
+                    callback(iteration, fit)
+                if iteration > 0:
+                    improvement = fit_history[-1] - fit_history[-2]
+                    if abs(improvement) < options.tolerance:
+                        converged = True
+                        break
+
+        if not fit_history:
+            # track_fit=False skips per-iteration tracking, but the result's
+            # fit must still be populated: evaluate it once from the final
+            # core so HOOIResult.fit is never NaN on a completed run.
+            with timings.time("fit"):
+                fit_history.append(hooi_fit(norm_x, core))
+
+        decomposition = TuckerTensor(core=core, factors=list(self.factors))
+        return HOOIResult(
+            decomposition=decomposition,
+            fit_history=fit_history,
+            iterations=iterations_run,
+            converged=converged,
+            timings=timings,
+            trsvd_stats=trsvd_stats,
+        )

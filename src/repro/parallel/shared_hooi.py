@@ -12,6 +12,11 @@ expensive per-mode steps:
   kernels (line 9);
 * the core tensor is a single GEMM on the last mode's TTMc result (line 10).
 
+Both this driver and the sequential one run the *same* iteration loop —
+:class:`repro.engine.driver.HOOIEngine` — differing only in the
+:class:`~repro.engine.backend.ExecutionBackend` plugged in, so the results
+are numerically identical by construction.
+
 In addition to running the computation, the driver can *predict* the
 per-iteration time for an arbitrary thread count through the node roofline
 model (:mod:`repro.parallel.model`); the thread-scaling experiment (paper
@@ -20,27 +25,22 @@ Table V) reports both the measured and the modelled numbers.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.hooi import HOOIOptions, HOOIResult
-from repro.core.hosvd import initialize_factors
 from repro.core.sparse_tensor import SparseTensor
-from repro.core.symbolic import ModeSymbolic, symbolic_ttmc
-from repro.core.trsvd import truncated_svd
-from repro.core.tucker import TuckerTensor, core_from_ttmc
-from repro.parallel.model import NodeModel, PhaseWork, BGQ_NODE
+from repro.engine.backend import ThreadedBackend
+from repro.engine.driver import HOOIEngine
+from repro.parallel.model import NodeModel, BGQ_NODE
 from repro.parallel.parallel_for import ParallelConfig
-from repro.parallel.shared_ttmc import parallel_ttmc_matricized
 from repro.parallel.work import (
     core_phase_work,
     trsvd_phase_work,
     ttmc_phase_work,
 )
-from repro.util.timing import TimingBreakdown
 from repro.util.validation import check_rank_vector
 
 __all__ = ["shared_hooi", "predict_iteration_time", "SharedHOOIReport"]
@@ -56,18 +56,6 @@ class SharedHOOIReport:
     num_threads: int
 
 
-def _parallel_symbolic(
-    tensor: SparseTensor, num_threads: int
-) -> Dict[int, ModeSymbolic]:
-    """Build the symbolic data of every mode, one task per mode (parfor n)."""
-    modes = list(range(tensor.order))
-    if num_threads <= 1 or len(modes) == 1:
-        return {mode: symbolic_ttmc(tensor, mode) for mode in modes}
-    with ThreadPoolExecutor(max_workers=min(num_threads, len(modes))) as pool:
-        futures = {mode: pool.submit(symbolic_ttmc, tensor, mode) for mode in modes}
-        return {mode: fut.result() for mode, fut in futures.items()}
-
-
 def shared_hooi(
     tensor: SparseTensor,
     ranks: Sequence[int] | int,
@@ -75,90 +63,34 @@ def shared_hooi(
     *,
     config: Optional[ParallelConfig] = None,
     node_model: NodeModel = BGQ_NODE,
+    callback: Optional[Callable[[int, float], None]] = None,
+    workspace=None,
 ) -> SharedHOOIReport:
     """Run Algorithm 3 with the given thread configuration.
 
     Returns both the numerical result (identical, up to sign conventions of
     singular vectors, to the sequential driver) and measured / modelled
-    per-iteration times for the scaling experiments.
+    per-iteration times for the scaling experiments.  ``callback(iteration,
+    fit)`` is invoked after each tracked iteration, exactly as in the
+    sequential driver.
     """
-    options = options or HOOIOptions()
     config = config or ParallelConfig()
-    ranks = check_rank_vector(ranks, tensor.shape)
-    timings = TimingBreakdown()
-
-    with timings.time("init"):
-        factors = initialize_factors(
-            tensor, ranks, init=options.init, seed=options.seed
-        )
-    with timings.time("symbolic"):
-        symbolic = _parallel_symbolic(tensor, config.num_threads)
-
-    norm_x = tensor.norm()
-    fit_history: List[float] = []
-    trsvd_stats = []
-    converged = False
-    core = np.zeros(ranks, dtype=np.float64)
-    iterations_run = 0
-    iteration_seconds: List[float] = []
-
-    for iteration in range(options.max_iterations):
-        iterations_run = iteration + 1
-        iter_timer = TimingBreakdown()
-        last_ttmc: Optional[np.ndarray] = None
-        for mode in range(tensor.order):
-            with timings.time("ttmc"), iter_timer.time("ttmc"):
-                y_mat = parallel_ttmc_matricized(
-                    tensor,
-                    factors,
-                    mode,
-                    symbolic=symbolic[mode],
-                    config=config,
-                    block_nnz=options.block_nnz,
-                )
-            with timings.time("trsvd"), iter_timer.time("trsvd"):
-                result = truncated_svd(
-                    y_mat,
-                    ranks[mode],
-                    method=options.trsvd_method,
-                    **(
-                        {"tol": options.trsvd_tol, "seed": options.seed}
-                        if options.trsvd_method == "lanczos"
-                        else {}
-                    ),
-                )
-            factors[mode] = result.left
-            trsvd_stats.append(result)
-            if mode == tensor.order - 1:
-                last_ttmc = y_mat
-        with timings.time("core"), iter_timer.time("core"):
-            core = core_from_ttmc(last_ttmc, factors[-1], ranks)
-        iteration_seconds.append(iter_timer.total())
-
-        if options.track_fit:
-            core_norm = float(np.linalg.norm(core.ravel()))
-            residual_sq = max(norm_x**2 - core_norm**2, 0.0)
-            fit = 1.0 - float(np.sqrt(residual_sq)) / norm_x if norm_x else 1.0
-            fit_history.append(fit)
-            if iteration > 0 and abs(fit_history[-1] - fit_history[-2]) < options.tolerance:
-                converged = True
-                break
-
-    decomposition = TuckerTensor(core=core, factors=list(factors))
-    hooi_result = HOOIResult(
-        decomposition=decomposition,
-        fit_history=fit_history,
-        iterations=iterations_run,
-        converged=converged,
-        timings=timings,
-        trsvd_stats=trsvd_stats,
+    engine = HOOIEngine(
+        tensor,
+        ranks,
+        options,
+        backend=ThreadedBackend(config),
+        workspace=workspace,
     )
-    measured = float(np.mean(iteration_seconds)) if iteration_seconds else 0.0
+    result = engine.run(callback=callback)
+    measured = (
+        float(np.mean(engine.iteration_seconds)) if engine.iteration_seconds else 0.0
+    )
     modelled = predict_iteration_time(
         tensor, ranks, config.num_threads, node_model=node_model
     )
     return SharedHOOIReport(
-        result=hooi_result,
+        result=result,
         measured_seconds_per_iteration=measured,
         modelled_seconds_per_iteration=modelled,
         num_threads=config.num_threads,

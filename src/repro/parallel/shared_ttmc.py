@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.kron import batch_kron_rows, kron_row_length
 from repro.core.sparse_tensor import SparseTensor
 from repro.core.symbolic import ModeSymbolic, symbolic_ttmc
-from repro.core.ttmc import default_block_size, gather_ranges
+from repro.core.ttmc import default_block_size, gather_ranges, ttmc_dtype
 from repro.parallel.parallel_for import ParallelConfig, parallel_for
 from repro.util.validation import check_axis, check_same_order
 
@@ -48,7 +48,8 @@ def ttmc_row_block(
         np.asarray(factors[t]).shape[1] for t in range(tensor.order) if t != mode
     ]
     width = kron_row_length(widths)
-    out = np.zeros((row_positions.shape[0], width), dtype=np.float64)
+    dtype = ttmc_dtype(tensor, factors, mode)
+    out = np.zeros((row_positions.shape[0], width), dtype=dtype)
     if row_positions.shape[0] == 0:
         return out
 
@@ -60,9 +61,9 @@ def ttmc_row_block(
         return out
 
     if block_nnz is None:
-        block_nnz = default_block_size(width)
+        block_nnz = default_block_size(width, itemsize=dtype.itemsize)
     factor_arrays = [
-        None if t == mode else np.asarray(factors[t], dtype=np.float64)
+        None if t == mode else np.asarray(factors[t], dtype=dtype)
         for t in range(tensor.order)
     ]
     for start in range(0, positions.shape[0], block_nnz):
@@ -107,11 +108,15 @@ def parallel_ttmc_matricized(
     ]
     width = kron_row_length(widths)
     n_rows = tensor.shape[mode]
+    dtype = ttmc_dtype(tensor, factors, mode)
     if out is None:
-        out = np.zeros((n_rows, width), dtype=np.float64)
+        out = np.zeros((n_rows, width), dtype=dtype)
     else:
-        if out.shape != (n_rows, width):
-            raise ValueError(f"out has shape {out.shape}, expected {(n_rows, width)}")
+        if out.shape != (n_rows, width) or out.dtype != dtype:
+            raise ValueError(
+                f"out has shape {out.shape} / dtype {out.dtype}, expected "
+                f"{(n_rows, width)} / {dtype}"
+            )
         out[:] = 0.0
     if symbolic.num_rows == 0:
         return out
