@@ -1,0 +1,107 @@
+"""Benchmark: dimension-tree vs per-mode TTMc sweep on a 4-mode tensor.
+
+One HOOI-iteration-worth of TTMc — serve every mode's ``Y_(n)`` and refresh
+that mode's factor (which invalidates the memoized chains exactly as the
+engine does) — evaluated with the two ``ttmc_strategy`` settings.  The
+power-law tensor merges many nonzeros per mode-pair fiber, which is where
+the dimension tree's semi-sparse intermediates pay off: the expensive
+full-width leaf updates run over merged fibers instead of raw nonzeros.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import SymbolicTTMc, ttmc_matricized
+from repro.core.kron import kron_row_length
+from repro.data import power_law_sparse_tensor
+from repro.engine import DimensionTree, WorkspacePool
+from repro.util.linalg import random_orthonormal
+
+RANK = 8
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return power_law_sparse_tensor(
+        (120, 100, 90, 80), 120_000, exponents=0.7, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def factors(tensor):
+    return [
+        random_orthonormal(s, RANK, seed=i) for i, s in enumerate(tensor.shape)
+    ]
+
+
+@pytest.fixture(scope="module")
+def symbolic(tensor):
+    return SymbolicTTMc(tensor)
+
+
+def _per_mode_sweep(tensor, factors, symbolic, pool):
+    width = kron_row_length([RANK] * (tensor.order - 1))
+    for mode in range(tensor.order):
+        out = pool.take((tensor.shape[mode], width), tensor.dtype,
+                        tag=f"out-{mode}")
+        ttmc_matricized(
+            tensor, factors, mode,
+            symbolic=symbolic[mode], out=out, workspace=pool,
+        )
+
+
+def _dimtree_sweep(tensor, factors, tree, pool):
+    width = kron_row_length([RANK] * (tensor.order - 1))
+    for mode in range(tensor.order):
+        out = pool.take((tensor.shape[mode], width), tensor.dtype,
+                        tag=f"out-{mode}")
+        tree.leaf_matricized(mode, factors, out=out, workspace=pool)
+        tree.invalidate_factor(mode)
+
+
+def test_ttmc_sweep_per_mode(benchmark, tensor, factors, symbolic):
+    pool = WorkspacePool()
+    benchmark.pedantic(
+        _per_mode_sweep,
+        args=(tensor, factors, symbolic, pool),
+        rounds=3,
+        warmup_rounds=1,
+    )
+
+
+def test_ttmc_sweep_dimtree(benchmark, tensor, factors):
+    tree = DimensionTree(tensor)
+    pool = WorkspacePool()
+    benchmark.pedantic(
+        _dimtree_sweep,
+        args=(tensor, factors, tree, pool),
+        rounds=3,
+        warmup_rounds=1,
+    )
+
+
+def test_dimtree_beats_per_mode(tensor, factors, symbolic):
+    """Acceptance gate: the memoized sweep must win on a 4-mode tensor."""
+    tree = DimensionTree(tensor)
+    pool_a, pool_b = WorkspacePool(), WorkspacePool()
+    _per_mode_sweep(tensor, factors, symbolic, pool_a)   # warm-up
+    _dimtree_sweep(tensor, factors, tree, pool_b)
+
+    def median_time(fn, *args):
+        times = []
+        for _ in range(3):
+            start = time.perf_counter()
+            fn(*args)
+            times.append(time.perf_counter() - start)
+        return float(np.median(times))
+
+    per_mode = median_time(_per_mode_sweep, tensor, factors, symbolic, pool_a)
+    dimtree = median_time(_dimtree_sweep, tensor, factors, tree, pool_b)
+    assert dimtree < per_mode, (
+        f"dimtree sweep ({dimtree * 1e3:.1f} ms) should beat per-mode "
+        f"({per_mode * 1e3:.1f} ms)"
+    )

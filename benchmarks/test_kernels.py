@@ -8,11 +8,9 @@ hypergraph partitioner — so regressions in any of them are visible.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import (
-    HOOIOptions,
     SymbolicTTMc,
     lanczos_svd,
     randomized_svd,

@@ -18,7 +18,7 @@ from __future__ import annotations
 import pytest
 
 from repro.distributed import collect_partition_statistics, estimate_iteration_time
-from repro.experiments import STRATEGIES, render_table2, run_table2
+from repro.experiments import STRATEGIES, render_table2
 from repro.experiments.calibration import scaled_machine
 from benchmarks.conftest import BENCH_SCALE
 

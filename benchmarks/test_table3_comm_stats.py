@@ -15,7 +15,6 @@ findings:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.experiments import STRATEGIES, render_table3, run_table3
 

@@ -11,7 +11,6 @@ Two complementary reproductions are run per dataset analog:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import HOOIOptions

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Normalize pytest-benchmark output and gate CI on perf regressions.
+
+Two subcommands, both stdlib-only so the CI job needs nothing beyond the
+test dependencies:
+
+``normalize``
+    Convert the raw ``--benchmark-json`` dump into the committed-artifact
+    schema: a flat ``kernel name -> {mean_ms, stddev_ms, rounds}`` mapping
+    (``repro-bench/1``).  The normalized file is what CI uploads as
+    ``BENCH_<sha>.json`` and what ``BENCH_baseline.json`` stores.
+
+``compare``
+    Compare a normalized result against the checked-in baseline and exit
+    nonzero when any kernel's mean regressed by more than ``--threshold``
+    (default 1.5x).  Kernels faster than ``--min-ms`` in the baseline or
+    measured with fewer than ``--min-rounds`` rounds are reported but never
+    gate (sub-millisecond and single-shot timings are noise-dominated on
+    shared CI runners); kernels present on only one side are reported as
+    informational.
+
+Refresh the baseline locally with::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --benchmark-json=bench-raw.json
+    python scripts/compare_bench.py normalize bench-raw.json --out BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-bench/1"
+
+
+def load_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def normalize(raw: dict, source: str) -> dict:
+    """Flatten a pytest-benchmark JSON dump into the committed schema."""
+    kernels = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        kernels[bench["fullname"]] = {
+            "mean_ms": round(stats["mean"] * 1e3, 6),
+            "stddev_ms": round(stats["stddev"] * 1e3, 6),
+            "rounds": stats.get("rounds"),
+        }
+    return {
+        "schema": SCHEMA,
+        "source": source,
+        "machine": raw.get("machine_info", {}).get("node"),
+        "kernels": dict(sorted(kernels.items())),
+    }
+
+
+def check_schema(doc: dict, path: str) -> dict:
+    if doc.get("schema") != SCHEMA or "kernels" not in doc:
+        sys.exit(f"{path}: not a {SCHEMA} document (run the normalize step first)")
+    return doc["kernels"]
+
+
+def cmd_normalize(args: argparse.Namespace) -> int:
+    doc = normalize(load_json(args.raw), source=args.raw)
+    if not doc["kernels"]:
+        sys.exit(f"{args.raw}: no benchmarks found in the raw dump")
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out} ({len(doc['kernels'])} kernels)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    current = check_schema(load_json(args.current), args.current)
+    baseline = check_schema(load_json(args.baseline), args.baseline)
+
+    regressions = []
+    width = max((len(k) for k in baseline), default=0)
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"MISSING  {name} (in baseline only — removed benchmark?)")
+            continue
+        if name not in baseline:
+            print(
+                f"NEW      {name} ({current[name]['mean_ms']:.3f} ms; "
+                "not gated — refresh the baseline to track it)"
+            )
+            continue
+        base_ms = baseline[name]["mean_ms"]
+        cur_ms = current[name]["mean_ms"]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        rounds = baseline[name].get("rounds") or 0
+        gated = base_ms >= args.min_ms and rounds >= args.min_rounds
+        verdict = "ok"
+        if ratio > args.threshold:
+            verdict = "REGRESSION" if gated else "slow (ungated)"
+            if gated:
+                regressions.append((name, base_ms, cur_ms, ratio))
+        print(
+            f"{verdict:14s} {name:<{width}s} "
+            f"{base_ms:10.3f} -> {cur_ms:10.3f} ms  ({ratio:5.2f}x)"
+        )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} kernel(s) regressed beyond "
+            f"{args.threshold:.2f}x:"
+        )
+        for name, base_ms, cur_ms, ratio in regressions:
+            print(f"  {name}: {base_ms:.3f} -> {cur_ms:.3f} ms ({ratio:.2f}x)")
+        return 1
+    print("\nno gated regressions")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    norm = sub.add_parser("normalize", help="flatten a --benchmark-json dump")
+    norm.add_argument("raw", help="pytest-benchmark JSON output")
+    norm.add_argument("--out", required=True, help="normalized output path")
+    norm.set_defaults(func=cmd_normalize)
+
+    comp = sub.add_parser("compare", help="gate against a baseline")
+    comp.add_argument("current", help="normalized result to check")
+    comp.add_argument("--baseline", default="BENCH_baseline.json")
+    comp.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="fail when mean exceeds baseline by this factor",
+    )
+    comp.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.5,
+        help="baseline means below this never gate (noise floor)",
+    )
+    comp.add_argument(
+        "--min-rounds",
+        type=int,
+        default=2,
+        help="baseline kernels with fewer rounds never gate "
+        "(single-shot timings are too noisy to compare)",
+    )
+    comp.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

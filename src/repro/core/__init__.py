@@ -34,6 +34,13 @@ from repro.core.ttmc import (
     ttmc_flops,
     ttmc_matricized,
 )
+from repro.core.subset_ttmc import (
+    FiberGrouping,
+    edge_update_groups,
+    group_fibers,
+    kron_insert,
+    subset_widths,
+)
 from repro.core.ttm import SemiSparseTensor, sparse_ttm, sparse_ttm_chain, sparse_ttv
 from repro.core.trsvd import (
     CountingOperator,
@@ -70,6 +77,11 @@ __all__ = [
     "ttmc_contributions",
     "ttmc_flops",
     "ttmc_matricized",
+    "FiberGrouping",
+    "edge_update_groups",
+    "group_fibers",
+    "kron_insert",
+    "subset_widths",
     "SemiSparseTensor",
     "sparse_ttm",
     "sparse_ttm_chain",

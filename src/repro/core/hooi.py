@@ -39,6 +39,11 @@ class HOOIOptions:
     finder), ``"dense"`` or ``"gram"`` (small-problem baselines).  ``dtype``
     is the engine's precision policy (``"float32"`` or ``"float64"``) applied
     to the tensor values, factors, TTMc and TRSVD operands alike.
+    ``ttmc_strategy`` selects how the sequential and shared-memory drivers
+    evaluate the TTMc phase: ``"per-mode"`` (each mode's chain recomputed
+    from scratch, the paper's Algorithm 2) or ``"dimtree"`` (memoized partial
+    chains on a binary dimension tree, :mod:`repro.engine.dimtree` — fewer
+    multiplies per sweep in exchange for resident semi-sparse intermediates).
     """
 
     max_iterations: int = 5
@@ -50,6 +55,7 @@ class HOOIOptions:
     block_nnz: Optional[int] = None
     track_fit: bool = True
     dtype: str = "float64"
+    ttmc_strategy: str = "per-mode"
 
 
 @dataclass
@@ -99,11 +105,16 @@ def hooi(
         Optional :class:`repro.engine.workspace.WorkspacePool` shared across
         runs (one is created per run otherwise).
     """
-    from repro.engine.backend import SequentialBackend
+    from repro.engine.dimtree import resolve_ttmc_backend
     from repro.engine.driver import HOOIEngine
 
+    options = options or HOOIOptions()
     engine = HOOIEngine(
-        tensor, ranks, options, backend=SequentialBackend(), workspace=workspace
+        tensor,
+        ranks,
+        options,
+        backend=resolve_ttmc_backend(options),
+        workspace=workspace,
     )
     return engine.run(callback=callback)
 

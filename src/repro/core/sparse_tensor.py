@@ -16,7 +16,7 @@ storage dtype; anything that is not a supported float dtype is promoted to
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -1,0 +1,245 @@
+"""Subset-TTMc kernels: partial TTM chains over arbitrary mode subsets.
+
+The per-mode TTMc (:mod:`repro.core.ttmc`) multiplies *all* modes but one in
+a single pass over the nonzeros.  The dimension-tree evaluation
+(:mod:`repro.engine.dimtree`) instead materializes *partial* chains — the
+tensor multiplied by the factors of a subset ``M`` of the modes — and reuses
+them between the modes whose TTMc shares that subset.  A partial chain is a
+*semi-sparse* tensor: sparse over the free modes ``F = {0..N-1} \\ M`` and
+dense over the multiplied ones, stored here as
+
+* a :class:`FiberGrouping` — the distinct index tuples over ``F`` (the
+  fibers) plus the CSR-style map from a finer grouping's fibers onto them,
+  exactly the symbolic structure of the paper's update lists generalized
+  from single modes to mode subsets; and
+* a dense *payload* of shape ``(num_fibers, ∏_{t∈M} R_t)`` whose row for
+  fiber ``(i_t)_{t∈F}`` equals ``Σ x · kron(U_t[i_t, :] for t ∈ M)`` over
+  the nonzeros sharing that fiber.
+
+Payload columns follow the same convention as :func:`repro.core.kron.kron_rows`
+applied to the multiplied modes in *ascending* order with the lowest mode
+varying fastest.  Because the dimension tree splits contiguous mode ranges,
+a node's multiplied set is always a low block ``{0..lo-1}`` plus a high block
+``{hi+1..N-1}``, and refining a chain by the sibling's (contiguous, middle)
+range is the :func:`kron_insert` below — a single reshaped broadcast multiply
+that keeps the ascending-mode column order intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kron import batch_kron_rows, kron_row_length
+from repro.core.ttmc import default_block_size
+
+__all__ = [
+    "FiberGrouping",
+    "group_fibers",
+    "subset_widths",
+    "kron_insert",
+    "edge_update_groups",
+]
+
+
+@dataclass(frozen=True)
+class FiberGrouping:
+    """Distinct fibers of a mode subset and the map from parent fibers onto them.
+
+    Attributes
+    ----------
+    indices:
+        ``(num_groups, k)`` array of the distinct index tuples, in the
+        lexicographic order produced by :func:`group_fibers`.
+    perm:
+        Permutation of parent-fiber positions such that positions mapping to
+        the same group are contiguous, ordered consistently with ``indices``.
+    segptr:
+        Array of length ``num_groups + 1``; parent positions for group ``g``
+        occupy ``perm[segptr[g]:segptr[g + 1]]``.
+    """
+
+    indices: np.ndarray
+    perm: np.ndarray
+    segptr: np.ndarray
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def num_parents(self) -> int:
+        return int(self.perm.shape[0])
+
+    def group_sizes(self) -> np.ndarray:
+        """Number of parent fibers merged into each group."""
+        return np.diff(self.segptr)
+
+
+def group_fibers(index_columns: np.ndarray) -> FiberGrouping:
+    """Group rows of an ``(m, k)`` index array by their tuple value.
+
+    A single lexsort — O(m log m), done once per tree edge and reused by
+    every numeric pass — generalizing :func:`repro.core.symbolic.symbolic_ttmc`
+    from one mode to a mode subset.
+    """
+    cols = np.asarray(index_columns, dtype=np.int64)
+    if cols.ndim != 2:
+        raise ValueError("index_columns must be 2-D (fibers x modes)")
+    m, k = cols.shape
+    if k == 0:
+        raise ValueError("cannot group fibers over an empty mode subset")
+    if m == 0:
+        return FiberGrouping(
+            indices=np.empty((0, k), dtype=np.int64),
+            perm=np.empty(0, dtype=np.int64),
+            segptr=np.zeros(1, dtype=np.int64),
+        )
+    # lexsort's last key is primary: pass columns reversed so the lowest mode
+    # is the most significant and groups come out in ascending tuple order.
+    perm = np.lexsort(tuple(cols[:, c] for c in range(k - 1, -1, -1)))
+    perm = perm.astype(np.int64, copy=False)
+    sorted_cols = cols[perm]
+    boundary = np.empty(m, dtype=bool)
+    boundary[0] = True
+    np.any(sorted_cols[1:] != sorted_cols[:-1], axis=1, out=boundary[1:])
+    starts = np.flatnonzero(boundary).astype(np.int64)
+    segptr = np.concatenate([starts, [m]]).astype(np.int64)
+    return FiberGrouping(indices=sorted_cols[boundary], perm=perm, segptr=segptr)
+
+
+def subset_widths(
+    ranks: Sequence[Optional[int]], lo: int, hi: int
+) -> Tuple[int, int]:
+    """Dense widths of the low/high multiplied blocks around free range [lo, hi].
+
+    Returns ``(∏_{t < lo} R_t, ∏_{t > hi} R_t)``.  Ranks inside the free
+    range may be ``None`` (they are not multiplied and do not contribute).
+    """
+    lo_width = kron_row_length([int(r) for r in ranks[:lo]])
+    hi_width = kron_row_length([int(r) for r in ranks[hi + 1 :]])
+    return lo_width, hi_width
+
+
+def kron_insert(
+    payload: np.ndarray,
+    middle: np.ndarray,
+    lo_width: int,
+    hi_width: int,
+    *,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Insert a Kronecker block between a payload's low and high blocks.
+
+    ``payload`` has shape ``(m, lo_width * hi_width)`` with the low block
+    varying fastest; ``middle`` has shape ``(m, w)`` and corresponds to modes
+    lying strictly *between* the low and high blocks in mode order.  The
+    result, shape ``(m, lo_width * w * hi_width)``, keeps the ascending-mode
+    column convention: low block fastest, then ``middle``, then the high
+    block.  ``out`` must be C-contiguous when given (pool buffers are).
+    """
+    m, wp = payload.shape
+    if wp != lo_width * hi_width:
+        raise ValueError(
+            f"payload width {wp} does not factor as lo {lo_width} x hi {hi_width}"
+        )
+    if middle.shape[0] != m:
+        raise ValueError("payload and middle must have the same number of rows")
+    w = middle.shape[1]
+    dtype = np.result_type(payload, middle)
+    if out is None:
+        out = np.empty((m, wp * w), dtype=dtype)
+    elif out.shape != (m, wp * w) or out.dtype != dtype:
+        raise ValueError(
+            f"out has shape {out.shape} / dtype {out.dtype}, expected "
+            f"{(m, wp * w)} / {dtype}"
+        )
+    np.multiply(
+        payload.reshape(m, hi_width, 1, lo_width),
+        middle.reshape(m, 1, w, 1),
+        out=out.reshape(m, hi_width, w, lo_width),
+    )
+    return out
+
+
+def edge_update_groups(
+    grouping: FiberGrouping,
+    group_start: int,
+    group_stop: int,
+    parent_payload: np.ndarray,
+    parent_index_cols: np.ndarray,
+    sibling_cols: Sequence[int],
+    sibling_factors: Sequence[np.ndarray],
+    lo_width: int,
+    hi_width: int,
+    out: np.ndarray,
+    *,
+    block_nnz: Optional[int] = None,
+    workspace=None,
+) -> np.ndarray:
+    """Numeric refinement of one tree edge for a contiguous range of groups.
+
+    For each group ``g`` in ``[group_start, group_stop)`` this accumulates
+
+        ``out[g - group_start] = Σ_p  payload[p] ⊗ kron(U_t[i_t(p)], t ∈ S)``
+
+    over the parent fibers ``p`` mapping to ``g``, where ``S`` is the sibling
+    mode set (``sibling_cols`` are its columns in ``parent_index_cols``,
+    ``sibling_factors`` its factor matrices in the same ascending-mode order)
+    and the Kronecker insertion keeps the payload column convention.
+
+    ``out`` (zeroed here) covers only the requested group range, so disjoint
+    ranges can be filled concurrently by different workers — the row-parallel,
+    lock-free decomposition of :mod:`repro.parallel.shared_dimtree`.
+    ``workspace`` supplies the per-block scratch buffers and must be ``None``
+    when called from concurrent workers (the pool is not thread-safe).
+    """
+    out[:] = 0
+    count = group_stop - group_start
+    if count <= 0:
+        return out
+    dtype = out.dtype
+    sib_width = kron_row_length([f.shape[1] for f in sibling_factors])
+    child_width = out.shape[1]
+    p0 = int(grouping.segptr[group_start])
+    p1 = int(grouping.segptr[group_stop])
+    positions = grouping.perm[p0:p1]
+    if positions.shape[0] == 0:
+        return out
+    counts = np.diff(grouping.segptr[group_start : group_stop + 1])
+    local_rows = np.repeat(np.arange(count, dtype=np.int64), counts)
+    if block_nnz is None:
+        block_nnz = default_block_size(child_width, itemsize=dtype.itemsize)
+
+    for start in range(0, positions.shape[0], block_nnz):
+        chunk = positions[start : start + block_nnz]
+        chunk_rows = local_rows[start : start + chunk.shape[0]]
+        pay = parent_payload[chunk]
+        blocks = [
+            factor[parent_index_cols[chunk, col]]
+            for col, factor in zip(sibling_cols, sibling_factors)
+        ]
+        kron_scratch = (
+            workspace.take((chunk.shape[0], sib_width), dtype, tag="dimtree-kron")
+            if workspace is not None and len(blocks) > 1
+            else None
+        )
+        kron = batch_kron_rows(blocks, out=kron_scratch)
+        insert_scratch = (
+            workspace.take(
+                (chunk.shape[0], child_width), dtype, tag="dimtree-insert"
+            )
+            if workspace is not None
+            else None
+        )
+        combined = kron_insert(pay, kron, lo_width, hi_width, out=insert_scratch)
+        # chunk_rows is non-decreasing (perm is grouped), so the accumulation
+        # is a segment-sum; a group split across blocks is handled by the +=.
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], chunk_rows[1:] != chunk_rows[:-1]))
+        )
+        sums = np.add.reduceat(combined, boundaries, axis=0)
+        out[chunk_rows[boundaries]] += sums
+    return out

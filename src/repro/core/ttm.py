@@ -12,11 +12,10 @@ the structure a TTM chain threads through successive multiplications.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.dense import fold
 from repro.core.kron import batch_kron_rows
 from repro.core.sparse_tensor import SparseTensor, as_supported_float
 from repro.util.validation import check_axis

@@ -2,16 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.dense import dense_ttm_chain, fold, tensor_norm, unfold
+from repro.core.dense import dense_ttm_chain, fold, tensor_norm
 from repro.core.kron import batch_kron_rows
 from repro.core.sparse_tensor import SparseTensor, as_supported_float
-from repro.core.ttmc import ttmc_matricized
-from repro.util.validation import check_same_order
 
 __all__ = ["TuckerTensor", "core_from_ttmc", "tucker_fit"]
 

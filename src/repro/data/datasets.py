@@ -22,9 +22,7 @@ that laptop-scale experiments keep the paper's proportions.  The default
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, Optional, Tuple
 
 from repro.core.sparse_tensor import SparseTensor
 from repro.data.synthetic import power_law_sparse_tensor

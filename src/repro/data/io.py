@@ -9,7 +9,6 @@ from the maximum index per mode.
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 from typing import Optional, Sequence, Union
 

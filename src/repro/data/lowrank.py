@@ -9,11 +9,10 @@ a sparse observation tensor.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.kron import batch_kron_rows
 from repro.core.sparse_tensor import SparseTensor
 from repro.core.tucker import TuckerTensor
 from repro.util.linalg import random_orthonormal

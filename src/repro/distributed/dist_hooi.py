@@ -70,6 +70,20 @@ def _check_trsvd_method(options: HOOIOptions) -> None:
         )
 
 
+def _check_ttmc_strategy(options: HOOIOptions) -> None:
+    """The dimension-tree TTMc has no distributed implementation (yet).
+
+    Fail fast instead of silently running per-mode, so benchmarks comparing
+    strategies cannot draw conclusions from the wrong kernel.
+    """
+    strategy = getattr(options, "ttmc_strategy", "per-mode") or "per-mode"
+    if strategy != "per-mode":
+        raise ValueError(
+            "the distributed driver supports only ttmc_strategy='per-mode', "
+            f"got {strategy!r}"
+        )
+
+
 @dataclass
 class RankRunResult:
     """Per-rank outcome of the SPMD HOOI program."""
@@ -168,6 +182,7 @@ class DistributedBackend(ExecutionBackend):
         # Fail fast when the backend is driven directly (the driver already
         # checks before launching the SPMD world).
         _check_trsvd_method(eng.options)
+        _check_ttmc_strategy(eng.options)
         # Positions of the compute rows inside the local symbolic row lists
         # (fine grain: every local row; coarse grain: the owned slices).
         self.compute_positions: List[np.ndarray] = []
@@ -316,6 +331,7 @@ def distributed_hooi(
     """Run Algorithm 4 on the simulated MPI world and assemble the results."""
     options = options or HOOIOptions()
     _check_trsvd_method(options)
+    _check_ttmc_strategy(options)
     ranks = check_rank_vector(ranks, tensor.shape)
     global_plan, plans = build_plans(tensor, partition, ranks)
     initial_factors = initialize_factors(

@@ -29,14 +29,13 @@ synchronization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.sparse_tensor import as_supported_float
 from repro.distributed.plan import ModePlan
 from repro.simmpi.communicator import Communicator
-from repro.simmpi.machine import MachineModel
 
 __all__ = ["DistributedTTMcMatrix", "DistTRSVDResult", "distributed_lanczos_svd"]
 

@@ -11,8 +11,6 @@ the fine-grain algorithm avoids sending.
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
 from repro.distributed.plan import ExchangePlan

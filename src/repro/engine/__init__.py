@@ -13,6 +13,13 @@ from repro.engine.backend import (
     parallel_symbolic,
     trsvd_kwargs,
 )
+from repro.engine.dimtree import (
+    DimensionTree,
+    DimTreeBackend,
+    DimTreeNode,
+    ThreadedDimTreeBackend,
+    resolve_ttmc_backend,
+)
 from repro.engine.driver import HOOIEngine, hooi_fit
 from repro.engine.workspace import WorkspacePool
 
@@ -22,6 +29,11 @@ __all__ = [
     "ThreadedBackend",
     "parallel_symbolic",
     "trsvd_kwargs",
+    "DimensionTree",
+    "DimTreeBackend",
+    "DimTreeNode",
+    "ThreadedDimTreeBackend",
+    "resolve_ttmc_backend",
     "HOOIEngine",
     "hooi_fit",
     "WorkspacePool",

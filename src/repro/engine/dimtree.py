@@ -1,0 +1,449 @@
+"""Dimension-tree TTMc: memoized partial TTM chains over a binary mode tree.
+
+The per-mode backend recomputes each mode's (N−1)-factor TTMc from scratch —
+N chains of N−1 multiplies per HOOI sweep, O(N²) mode multiplications.  Kaya's
+dimension-tree line of work observes that the chains overlap pairwise: a
+binary tree over the mode set lets every internal node cache the partial
+chain shared by all the leaves below it, cutting the per-sweep multiply count
+to O(N log N).
+
+Structure
+---------
+Each :class:`DimTreeNode` owns a contiguous *free* mode range ``[lo, hi]``
+and represents the input tensor multiplied by the factors of every *other*
+mode.  The root (free = all modes) is the raw tensor; a node's two children
+split its range in half, each refining the parent's chain by the sibling's
+modes; the leaf for mode ``n`` (free = ``{n}``) holds exactly the matricized
+TTMc ``Y_(n)`` rows the factor update needs.  Values are *semi-sparse
+intermediates* (:mod:`repro.core.subset_ttmc`): the distinct index tuples
+over the free modes (fibers, merged once symbolically per edge) paired with
+a dense payload over the multiplied ranks.
+
+Caching and invalidation
+------------------------
+Every factor carries a version counter; each cached node payload records the
+versions of the factors it multiplied by.  Refreshing ``U_n`` bumps version
+``n``, which lazily invalidates every node whose free range *excludes* ``n``
+— i.e. after an update only the root-to-leaf path of ``n`` stays fresh.
+Nodes revalidate top-down on demand, so one HOOI sweep recomputes each
+non-root node exactly once regardless of mode order.
+
+Memory
+------
+Node payloads live in the engine's :class:`~repro.engine.workspace.WorkspacePool`
+(one buffer per node, reused across iterations), trading
+``Σ_nodes fibers × ∏ranks`` of resident memory for the recomputation the
+per-mode strategy performs — the tradeoff ``HOOIOptions.ttmc_strategy``
+selects.
+"""
+
+from __future__ import annotations
+
+from itertools import count as _instance_counter
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kron import kron_dtype, kron_row_length
+from repro.core.sparse_tensor import SparseTensor
+from repro.core.subset_ttmc import (
+    FiberGrouping,
+    edge_update_groups,
+    group_fibers,
+    subset_widths,
+)
+from repro.engine.backend import SequentialBackend, ThreadedBackend
+from repro.util.validation import check_axis
+
+__all__ = [
+    "DimTreeNode",
+    "DimensionTree",
+    "DimTreeBackend",
+    "ThreadedDimTreeBackend",
+    "resolve_ttmc_backend",
+]
+
+_TREE_IDS = _instance_counter()
+
+
+class DimTreeNode:
+    """One node of the dimension tree: a contiguous free-mode range + cache."""
+
+    __slots__ = (
+        "node_id",
+        "lo",
+        "hi",
+        "parent",
+        "left",
+        "right",
+        "sibling_modes",
+        "sibling_cols",
+        "grouping",
+        "index_cols",
+        "multiplied_modes",
+        "payload",
+        "cache_dtype",
+        "cache_ranks",
+        "dep_versions",
+    )
+
+    def __init__(self, node_id: int, lo: int, hi: int, parent: Optional["DimTreeNode"]):
+        self.node_id = node_id
+        self.lo = lo
+        self.hi = hi
+        self.parent = parent
+        self.left: Optional["DimTreeNode"] = None
+        self.right: Optional["DimTreeNode"] = None
+        self.sibling_modes: Tuple[int, ...] = ()
+        self.sibling_cols: Tuple[int, ...] = ()
+        self.grouping: Optional[FiberGrouping] = None
+        self.index_cols: Optional[np.ndarray] = None
+        self.multiplied_modes: Tuple[int, ...] = ()
+        self.payload: Optional[np.ndarray] = None
+        self.cache_dtype: Optional[np.dtype] = None
+        self.cache_ranks: Optional[Tuple[int, ...]] = None
+        self.dep_versions: Optional[Tuple[int, ...]] = None
+
+    @property
+    def modes(self) -> Tuple[int, ...]:
+        """The node's free modes (its TTMc still has these modes unmultiplied)."""
+        return tuple(range(self.lo, self.hi + 1))
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def num_fibers(self) -> int:
+        return int(self.index_cols.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DimTreeNode(modes={self.modes}, fibers={self.num_fibers})"
+
+
+class DimensionTree:
+    """Symbolic dimension tree plus the per-factor-version payload cache.
+
+    Built once per tensor (a lexsort per edge, the analogue of the per-mode
+    symbolic step); :meth:`leaf_matricized` then serves any mode's ``Y_(n)``,
+    recomputing only the stale part of the root-to-leaf path, and
+    :meth:`invalidate_factor` must be called whenever a factor matrix is
+    replaced.  ``edge_updates`` counts numeric node recomputations — a steady
+    HOOI sweep performs exactly ``len(nodes) - 1`` of them.
+    """
+
+    def __init__(self, tensor: SparseTensor) -> None:
+        if tensor.order < 2:
+            raise ValueError("a dimension tree requires a tensor of order >= 2")
+        self.shape = tensor.shape
+        self.order = tensor.order
+        self._values = tensor.values
+        self._token = f"dimtree{next(_TREE_IDS)}"
+        self.nodes: List[DimTreeNode] = []
+        self.leaves: List[Optional[DimTreeNode]] = [None] * self.order
+        self.root = self._build(0, self.order - 1, None, tensor.indices)
+        self._versions = [0] * self.order
+        self.edge_updates = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction (symbolic)
+    # ------------------------------------------------------------------ #
+    def _build(
+        self,
+        lo: int,
+        hi: int,
+        parent: Optional[DimTreeNode],
+        parent_index_cols: np.ndarray,
+    ) -> DimTreeNode:
+        node = DimTreeNode(len(self.nodes), lo, hi, parent)
+        self.nodes.append(node)
+        if parent is None:
+            node.index_cols = np.asarray(parent_index_cols, dtype=np.int64)
+        else:
+            rel = [m - parent.lo for m in range(lo, hi + 1)]
+            node.grouping = group_fibers(parent_index_cols[:, rel])
+            node.index_cols = node.grouping.indices
+            node.sibling_modes = tuple(
+                m for m in parent.modes if not lo <= m <= hi
+            )
+            node.sibling_cols = tuple(m - parent.lo for m in node.sibling_modes)
+        node.multiplied_modes = tuple(
+            m for m in range(self.order) if not lo <= m <= hi
+        )
+        if lo == hi:
+            self.leaves[lo] = node
+        else:
+            mid = (lo + hi) // 2
+            node.left = self._build(lo, mid, node, node.index_cols)
+            node.right = self._build(mid + 1, hi, node, node.index_cols)
+        return node
+
+    def path(self, mode: int) -> List[DimTreeNode]:
+        """Root-to-leaf node path for ``mode``."""
+        mode = check_axis(mode, self.order)
+        path = [self.root]
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if mode <= node.left.hi else node.right
+            path.append(node)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Cache state
+    # ------------------------------------------------------------------ #
+    def invalidate_factor(self, mode: int) -> None:
+        """Mark factor ``mode`` as replaced.
+
+        Lazily invalidates every cached node whose chain multiplied by the
+        old ``U_mode`` — everything *off* the root-to-leaf path of ``mode``.
+        """
+        mode = check_axis(mode, self.order)
+        self._versions[mode] += 1
+
+    def node_is_fresh(self, node: DimTreeNode) -> bool:
+        """Whether the node's cached payload reflects the current factors."""
+        if node.payload is None:
+            return False
+        if node is self.root:
+            return True
+        return all(
+            node.dep_versions[i] == self._versions[m]
+            for i, m in enumerate(node.multiplied_modes)
+        )
+
+    def fresh_nodes(self) -> List[DimTreeNode]:
+        """All nodes whose cache is valid under the current factor versions."""
+        return [node for node in self.nodes if self.node_is_fresh(node)]
+
+    # ------------------------------------------------------------------ #
+    # Numeric evaluation
+    # ------------------------------------------------------------------ #
+    def leaf_matricized(
+        self,
+        mode: int,
+        factors: Sequence[Optional[np.ndarray]],
+        *,
+        dtype=None,
+        out: Optional[np.ndarray] = None,
+        workspace=None,
+        block_nnz: Optional[int] = None,
+        parallel_config=None,
+    ) -> np.ndarray:
+        """Serve ``Y_(mode)`` from the tree, refreshing stale path nodes.
+
+        Matches :func:`repro.core.ttmc.ttmc_matricized` in shape, column
+        order and dtype promotion.  ``factors[mode]`` is never multiplied and
+        may be ``None``.  ``workspace`` supplies the node payload and scratch
+        buffers; ``parallel_config`` (a
+        :class:`~repro.parallel.parallel_for.ParallelConfig`) switches the
+        edge updates to the row-parallel lock-free path.
+        """
+        mode = check_axis(mode, self.order)
+        if len(factors) != self.order:
+            raise ValueError(
+                f"expected {self.order} factors, got {len(factors)}"
+            )
+        if dtype is None:
+            dtype = kron_dtype(
+                self._values, *[f for f in factors if f is not None]
+            )
+        dtype = np.dtype(dtype)
+        ranks: List[Optional[int]] = []
+        for t, factor in enumerate(factors):
+            if factor is None:
+                ranks.append(None)
+                continue
+            factor = np.asarray(factor)
+            if factor.ndim != 2 or factor.shape[0] != self.shape[t]:
+                raise ValueError(
+                    f"factor for mode {t} must be 2-D with {self.shape[t]} rows"
+                )
+            ranks.append(int(factor.shape[1]))
+
+        path = self.path(mode)
+        for node in path:
+            self._ensure_fresh(
+                node, factors, ranks, dtype,
+                workspace=workspace, block_nnz=block_nnz,
+                parallel_config=parallel_config,
+            )
+        leaf = path[-1]
+
+        width = kron_row_length(
+            [ranks[t] for t in range(self.order) if t != mode]
+        )
+        if out is None:
+            out = np.zeros((self.shape[mode], width), dtype=dtype)
+        else:
+            if out.shape != (self.shape[mode], width) or out.dtype != dtype:
+                raise ValueError(
+                    f"out has shape {out.shape} / dtype {out.dtype}, expected "
+                    f"{(self.shape[mode], width)} / {dtype}"
+                )
+            out[:] = 0.0
+        if leaf.num_fibers:
+            out[leaf.index_cols[:, 0]] = leaf.payload
+        return out
+
+    def _ensure_fresh(
+        self,
+        node: DimTreeNode,
+        factors,
+        ranks,
+        dtype,
+        *,
+        workspace,
+        block_nnz,
+        parallel_config,
+    ) -> None:
+        if node is self.root:
+            if node.payload is None or node.cache_dtype != dtype:
+                node.payload = np.asarray(
+                    self._values, dtype=dtype
+                ).reshape(-1, 1)
+                node.cache_dtype = dtype
+            return
+        sig = tuple(ranks[m] for m in node.multiplied_modes)
+        if (
+            node.cache_dtype == dtype
+            and node.cache_ranks == sig
+            and self.node_is_fresh(node)
+        ):
+            return
+
+        parent = node.parent
+        sibling_factors = [
+            np.asarray(factors[m], dtype=dtype) for m in node.sibling_modes
+        ]
+        lo_width, hi_width = subset_widths(ranks, parent.lo, parent.hi)
+        child_width = lo_width * hi_width * kron_row_length(
+            [f.shape[1] for f in sibling_factors]
+        )
+        shape = (node.num_fibers, child_width)
+        if workspace is not None:
+            payload = workspace.take(
+                shape, dtype, tag=f"{self._token}-node{node.node_id}"
+            )
+        else:
+            payload = np.empty(shape, dtype=dtype)
+
+        if parallel_config is not None and parallel_config.num_threads > 1:
+            from repro.parallel.shared_dimtree import parallel_edge_update
+
+            parallel_edge_update(
+                node.grouping,
+                parent.payload,
+                parent.index_cols,
+                node.sibling_cols,
+                sibling_factors,
+                lo_width,
+                hi_width,
+                payload,
+                parallel_config,
+                block_nnz=block_nnz,
+            )
+        else:
+            edge_update_groups(
+                node.grouping,
+                0,
+                node.num_fibers,
+                parent.payload,
+                parent.index_cols,
+                node.sibling_cols,
+                sibling_factors,
+                lo_width,
+                hi_width,
+                payload,
+                block_nnz=block_nnz,
+                workspace=workspace,
+            )
+        node.payload = payload
+        node.cache_dtype = dtype
+        node.cache_ranks = sig
+        node.dep_versions = tuple(
+            self._versions[m] for m in node.multiplied_modes
+        )
+        self.edge_updates += 1
+
+
+class DimTreeBackend(SequentialBackend):
+    """Sequential execution with dimension-tree TTMc evaluation.
+
+    Identical to :class:`~repro.engine.backend.SequentialBackend` except that
+    ``compute_ttmc`` is served from a :class:`DimensionTree` (built in
+    ``prepare``, replacing the per-mode symbolic step) and ``update_factor``
+    additionally bumps the refreshed factor's version so stale partial chains
+    are recomputed on their next use.
+    """
+
+    name = "dimtree"
+
+    def __init__(self) -> None:
+        self.tree: Optional[DimensionTree] = None
+
+    def prepare(self, eng) -> None:
+        self.tree = DimensionTree(eng.tensor)
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        return self.tree.leaf_matricized(
+            mode,
+            eng.factors,
+            dtype=eng.dtype,
+            out=self._pooled_out(eng, mode),
+            workspace=eng.workspace,
+            block_nnz=eng.options.block_nnz,
+        )
+
+    def update_factor(self, eng, mode: int, y_mat: np.ndarray):
+        new_factor, stats = super().update_factor(eng, mode, y_mat)
+        if self.tree is not None:
+            self.tree.invalidate_factor(mode)
+        return new_factor, stats
+
+
+class ThreadedDimTreeBackend(DimTreeBackend):
+    """Shared-memory execution with dimension-tree TTMc evaluation.
+
+    The numeric refinement of each tree edge distributes contiguous ranges
+    of the child's fibers over worker threads
+    (:func:`repro.parallel.shared_dimtree.parallel_edge_update`) — lock-free,
+    since each fiber row is written by exactly one worker, mirroring the
+    per-mode row decomposition of Algorithm 3.
+    """
+
+    name = "threaded-dimtree"
+
+    def __init__(self, config=None) -> None:
+        from repro.parallel.parallel_for import ParallelConfig
+
+        super().__init__()
+        self.config = config or ParallelConfig()
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        return self.tree.leaf_matricized(
+            mode,
+            eng.factors,
+            dtype=eng.dtype,
+            out=self._pooled_out(eng, mode),
+            workspace=eng.workspace,
+            block_nnz=eng.options.block_nnz,
+            parallel_config=self.config,
+        )
+
+
+def resolve_ttmc_backend(options, config=None):
+    """Backend implied by ``HOOIOptions.ttmc_strategy``.
+
+    ``config`` (a :class:`~repro.parallel.parallel_for.ParallelConfig`)
+    selects the threaded variants; ``None`` the sequential ones.
+    """
+    strategy = getattr(options, "ttmc_strategy", "per-mode") or "per-mode"
+    if strategy == "per-mode":
+        return SequentialBackend() if config is None else ThreadedBackend(config)
+    if strategy == "dimtree":
+        return (
+            DimTreeBackend() if config is None else ThreadedDimTreeBackend(config)
+        )
+    raise ValueError(
+        f"unknown ttmc_strategy {strategy!r}: expected 'per-mode' or 'dimtree'"
+    )

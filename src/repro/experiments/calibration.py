@@ -13,7 +13,7 @@ collected here so EXPERIMENTS.md can point at a single source of truth:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Tuple
 
 from repro.parallel.model import NodeModel
 from repro.simmpi.machine import MachineModel

@@ -1,6 +1,7 @@
 """Shared-memory parallel HOOI (the paper's Algorithm 3) and the node model."""
 
 from repro.parallel.parallel_for import ChunkSchedule, ParallelConfig, make_chunks, parallel_for
+from repro.parallel.shared_dimtree import parallel_edge_update
 from repro.parallel.shared_ttmc import parallel_ttmc_matricized, ttmc_row_block
 from repro.parallel.model import BGQ_NODE, NodeModel, PhaseWork
 from repro.parallel.work import (
@@ -17,6 +18,7 @@ __all__ = [
     "ParallelConfig",
     "make_chunks",
     "parallel_for",
+    "parallel_edge_update",
     "parallel_ttmc_matricized",
     "ttmc_row_block",
     "BGQ_NODE",

@@ -13,13 +13,10 @@ accounting rely on.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Callable, Iterator, List, Optional, Tuple
 
 __all__ = ["ChunkSchedule", "make_chunks", "parallel_for", "ParallelConfig"]
 

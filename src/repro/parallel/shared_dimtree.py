@@ -1,0 +1,69 @@
+"""Row-parallel numeric phase for dimension-tree edges.
+
+Refining a tree edge writes one payload row per child fiber, and every child
+fiber aggregates a disjoint set of parent fibers (the symbolic
+:class:`~repro.core.subset_ttmc.FiberGrouping` guarantees it).  Child fibers
+can therefore be distributed over worker threads exactly like the rows of
+``Y_(n)`` in the per-mode algorithm: a contiguous range of fibers is one
+task, each worker segment-sums into the rows it owns, and no two workers
+ever touch the same output row — the paper's lock-free decomposition applied
+to every node of the tree instead of only the leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.subset_ttmc import FiberGrouping, edge_update_groups
+from repro.parallel.parallel_for import ParallelConfig, parallel_for
+
+__all__ = ["parallel_edge_update"]
+
+
+def parallel_edge_update(
+    grouping: FiberGrouping,
+    parent_payload: np.ndarray,
+    parent_index_cols: np.ndarray,
+    sibling_cols: Sequence[int],
+    sibling_factors: Sequence[np.ndarray],
+    lo_width: int,
+    hi_width: int,
+    out: np.ndarray,
+    config: Optional[ParallelConfig] = None,
+    *,
+    block_nnz: Optional[int] = None,
+) -> np.ndarray:
+    """Fill a tree node's payload with the configured thread schedule.
+
+    Chunks ``grouping``'s groups according to ``config`` and runs
+    :func:`~repro.core.subset_ttmc.edge_update_groups` on each chunk's slice
+    of ``out`` concurrently.  Workers allocate their scratch privately
+    (no shared workspace pool — it is not thread-safe).
+    """
+    config = config or ParallelConfig()
+    if out.shape[0] != grouping.num_groups:
+        raise ValueError(
+            f"out has {out.shape[0]} rows but the grouping has "
+            f"{grouping.num_groups} groups"
+        )
+
+    def body(start: int, stop: int) -> None:
+        edge_update_groups(
+            grouping,
+            start,
+            stop,
+            parent_payload,
+            parent_index_cols,
+            sibling_cols,
+            sibling_factors,
+            lo_width,
+            hi_width,
+            out[start:stop],
+            block_nnz=block_nnz,
+            workspace=None,
+        )
+
+    parallel_for(body, grouping.num_groups, config)
+    return out

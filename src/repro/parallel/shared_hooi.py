@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.hooi import HOOIOptions, HOOIResult
 from repro.core.sparse_tensor import SparseTensor
-from repro.engine.backend import ThreadedBackend
+from repro.engine.dimtree import resolve_ttmc_backend
 from repro.engine.driver import HOOIEngine
 from repro.parallel.model import NodeModel, BGQ_NODE
 from repro.parallel.parallel_for import ParallelConfig
@@ -75,11 +75,12 @@ def shared_hooi(
     sequential driver.
     """
     config = config or ParallelConfig()
+    options = options or HOOIOptions()
     engine = HOOIEngine(
         tensor,
         ranks,
         options,
-        backend=ThreadedBackend(config),
+        backend=resolve_ttmc_backend(options, config),
         workspace=workspace,
     )
     result = engine.run(callback=callback)

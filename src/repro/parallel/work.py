@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.core.ttmc import ttmc_flops
 from repro.parallel.model import PhaseWork
 

@@ -14,8 +14,7 @@ partitioners and metrics can be written with vectorized NumPy operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

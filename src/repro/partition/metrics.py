@@ -11,7 +11,7 @@ maximum/average summaries the paper's Table III reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 

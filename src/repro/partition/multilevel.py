@@ -28,7 +28,7 @@ dramatically lower communication volume than random or block partitions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

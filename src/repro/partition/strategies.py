@@ -21,13 +21,12 @@ coarse-bl    coarse-grain tasks, contiguous block row assignment
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.sparse_tensor import SparseTensor
-from repro.partition.hypergraph import Hypergraph
 from repro.partition.models import build_coarse_hypergraph, build_fine_hypergraph
 from repro.partition.multilevel import PartitionerOptions, partition_hypergraph
 

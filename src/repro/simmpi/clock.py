@@ -13,7 +13,7 @@ the strong-scaling experiment needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 __all__ = ["LogicalClock"]
 

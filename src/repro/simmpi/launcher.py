@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
-from repro.simmpi.communicator import CommWorld, Communicator
+from repro.simmpi.communicator import CommWorld
 from repro.simmpi.machine import BGQ_MACHINE, MachineModel
 
 __all__ = ["SPMDError", "SPMDResult", "run_spmd"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict
 
 __all__ = ["CommStats"]
 

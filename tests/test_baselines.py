@@ -13,7 +13,6 @@ from repro.baselines import (
 )
 from repro.core import HOOIOptions, SparseTensor, hooi
 from repro.data import random_tucker_tensor
-from repro.util.linalg import random_orthonormal
 
 
 class TestMET:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import SparseTensor
 from repro.data import (
     PAPER_DATASETS,
     dataset_table,

@@ -8,10 +8,8 @@ from repro.core import (
     hooi,
     lanczos_svd,
     ttmc_matricized,
-    unfold,
-    dense_ttm_chain,
 )
-from repro.data import power_law_sparse_tensor, random_sparse_tensor
+from repro.data import power_law_sparse_tensor
 from repro.distributed import (
     DistributedTTMcMatrix,
     build_plans,

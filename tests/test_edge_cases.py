@@ -7,7 +7,6 @@ tensors.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     HOOIOptions,

@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    DATASET_ORDER,
     STRATEGIES,
     ExperimentContext,
     format_float,

@@ -8,7 +8,6 @@ import pytest
 from repro.core import HOOIOptions, hooi, symbolic_ttmc, ttmc_matricized
 from repro.parallel import (
     BGQ_NODE,
-    ChunkSchedule,
     NodeModel,
     ParallelConfig,
     PhaseWork,

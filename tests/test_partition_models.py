@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import SparseTensor
-from repro.data import power_law_sparse_tensor, random_sparse_tensor
+from repro.data import power_law_sparse_tensor
 from repro.partition import (
-    PartitionerOptions,
     TensorPartition,
     build_coarse_hypergraph,
     build_fine_hypergraph,

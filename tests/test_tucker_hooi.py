@@ -18,7 +18,7 @@ from repro.core import (
     ttmc_matricized,
     unfold,
 )
-from repro.data import planted_lowrank_tensor, random_tucker_tensor
+from repro.data import random_tucker_tensor
 
 
 class TestTuckerTensor:
