@@ -47,6 +47,7 @@ from repro.core.trsvd import (
     DenseOperator,
     LinearOperator,
     TRSVDResult,
+    gram_svd,
     lanczos_svd,
     randomized_svd,
     truncated_svd,
@@ -90,6 +91,7 @@ __all__ = [
     "DenseOperator",
     "LinearOperator",
     "TRSVDResult",
+    "gram_svd",
     "lanczos_svd",
     "randomized_svd",
     "truncated_svd",

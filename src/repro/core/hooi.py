@@ -36,7 +36,11 @@ class HOOIOptions:
 
     ``trsvd_method`` selects the factor-update solver: ``"lanczos"`` (the
     default, mirroring SLEPc), ``"randomized"`` (seeded Halko-style range
-    finder), ``"dense"`` or ``"gram"`` (small-problem baselines).  ``dtype``
+    finder), ``"gram"`` (eigendecomposition of the small ``W × W`` Gram
+    matrix ``YᵀY`` — the right tool when the matricized width
+    ``W = ∏_{t≠n} R_t`` is small relative to ``I_n``, with a squared-spectrum
+    conditioning caveat; see :func:`repro.core.trsvd.gram_svd`) or
+    ``"dense"`` (full LAPACK SVD, small problems only).  ``dtype``
     is the engine's precision policy (``"float32"`` or ``"float64"``) applied
     to the tensor values, factors, TTMc and TRSVD operands alike.
     ``ttmc_strategy`` selects how the sequential and shared-memory drivers
@@ -44,6 +48,12 @@ class HOOIOptions:
     from scratch, the paper's Algorithm 2) or ``"dimtree"`` (memoized partial
     chains on a binary dimension tree, :mod:`repro.engine.dimtree` — fewer
     multiplies per sweep in exchange for resident semi-sparse intermediates).
+    ``execution`` selects the single-node execution model: ``"sequential"``
+    (default), ``"thread"`` (GIL-bound worker threads — the paper's work
+    decomposition, limited wall-clock gain in CPython) or ``"process"``
+    (worker processes with zero-copy shared memory — true multicore;
+    ``num_workers`` sets the worker count for both).  Both compose with
+    either ``ttmc_strategy`` and with the dtype policy.
     """
 
     max_iterations: int = 5
@@ -56,6 +66,8 @@ class HOOIOptions:
     track_fit: bool = True
     dtype: str = "float64"
     ttmc_strategy: str = "per-mode"
+    execution: str = "sequential"
+    num_workers: int = 1
 
 
 @dataclass

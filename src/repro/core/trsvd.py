@@ -11,16 +11,21 @@ algorithm hooks into: the fine-grain variant keeps ``Y_(n)`` in sum-distributed
 form and implements the two products with communication (see
 :mod:`repro.distributed.dist_trsvd`).
 
-Two solvers are provided:
+Three solvers are provided:
 
 * :func:`lanczos_svd` — Golub-Kahan Lanczos bidiagonalization with full
   reorthogonalization and implicit restarting; the default, mirroring the
   Krylov solvers SLEPc provides.
 * :func:`randomized_svd` — a randomized range finder with power iterations,
   useful as a cross-check and for the ablation benchmarks.
+* :func:`gram_svd` — ``eigh`` of the *small* ``W × W`` Gram matrix ``YᵀY``
+  plus the recovery ``U = Y V Σ⁻¹``; the fast path when the matricized
+  width ``W = ∏_{t≠n} R_t`` is small relative to ``I_n`` (it squares the
+  spectrum, so trailing singular values lose accuracy — see its docstring).
 
-Both report the number of operator applications so experiments can account
-for per-iteration communication exactly as the paper does.
+The iterative solvers report the number of operator applications so
+experiments can account for per-iteration communication exactly as the
+paper does.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.core.sparse_tensor import as_supported_float
-from repro.util.linalg import gram_leading_eigvecs
+from repro.util.linalg import orthonormalize
 
 __all__ = [
     "LinearOperator",
@@ -40,6 +45,7 @@ __all__ = [
     "TRSVDResult",
     "lanczos_svd",
     "randomized_svd",
+    "gram_svd",
     "truncated_svd",
 ]
 
@@ -341,6 +347,70 @@ def randomized_svd(
     )
 
 
+def gram_svd(
+    matrix: np.ndarray,
+    rank: int,
+    *,
+    compute_right: bool = True,
+) -> TRSVDResult:
+    """Truncated SVD through the *small* Gram matrix ``G = Yᵀ Y`` (``W × W``).
+
+    HOOI's operand ``Y_(n)`` is tall and skinny: ``I_n`` rows (up to
+    millions) but only ``W = ∏_{t≠n} R_t`` columns.  When ``W`` is small
+    relative to ``I_n`` the cheapest factor update is one GEMM to form the
+    ``W × W`` Gram matrix, a dense ``eigh`` of it, and the recovery
+    ``U = Y V Σ⁻¹`` — no Lanczos iteration, no MxV/MTxV passes over the tall
+    operand.  (This is *not* the ``Y Yᵀ`` Gram of side ``I_n`` the paper
+    argues against — that one is quadratic in the long dimension.)
+
+    Conditioning caveat: the Gram matrix squares the spectrum, so singular
+    values below roughly ``√ε · σ_max`` are lost to rounding and their
+    vectors are unreliable.  Numerically tiny directions are repaired by
+    re-orthonormalization (random completion), keeping ``U`` orthonormal;
+    prefer ``"lanczos"`` when trailing singular values matter.
+    """
+    dense = as_supported_float(np.asarray(matrix))
+    if dense.ndim != 2:
+        raise ValueError("gram_svd expects a 2-D array")
+    m, n = dense.shape
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    rank = min(rank, m, n)
+    # The big GEMM runs in the operand's dtype policy; the small W x W
+    # eigenproblem is always solved in float64 for stability.
+    gram = np.asarray(dense.T @ dense, dtype=np.float64)
+    eigvals, eigvecs = np.linalg.eigh(gram)
+    lead = np.argsort(eigvals)[::-1][:rank]
+    sigma = np.sqrt(np.clip(eigvals[lead], 0.0, None))
+    right = np.ascontiguousarray(eigvecs[:, lead])
+    left = np.asarray(
+        dense @ right.astype(dense.dtype, copy=False), dtype=np.float64
+    )
+    # The Gram matrix's eigenvalues carry an absolute error of order
+    # eps * sigma_max^2, so singular values below ~sqrt(eps) * sigma_max are
+    # pure noise — the squared-spectrum resolution limit of this method.
+    tol = np.sqrt(max(m, n) * np.finfo(np.float64).eps) * (
+        sigma[0] if rank else 0.0
+    )
+    safe = sigma > tol
+    left[:, safe] /= sigma[safe]
+    if not np.all(safe):
+        # Directions squashed by the squared spectrum: zero them out and let
+        # the orthonormalization complete the basis with random directions.
+        left[:, ~safe] = 0.0
+        left = orthonormalize(left)
+    return TRSVDResult(
+        left=np.ascontiguousarray(left),
+        singular_values=np.ascontiguousarray(sigma),
+        right=right if compute_right else None,
+        iterations=1,
+        matvecs=0,
+        rmatvecs=0,
+        converged=True,
+    )
+
+
 def truncated_svd(
     matrix: Union[np.ndarray, LinearOperator],
     rank: int,
@@ -351,9 +421,10 @@ def truncated_svd(
     """Dispatch to a truncated-SVD backend.
 
     ``method`` is one of ``"lanczos"`` (default), ``"randomized"``, ``"dense"``
-    (full LAPACK SVD — only for small matrices / tests), or ``"gram"`` (the
-    eigendecomposition of ``Y Yᵀ`` that dense-Tucker codes use and the paper
-    argues against for sparse data; kept as a baseline).
+    (full LAPACK SVD — only for small matrices / tests), or ``"gram"``
+    (:func:`gram_svd`: ``eigh`` of the small ``W × W`` Gram matrix ``YᵀY``
+    plus the recovery ``U = Y V Σ⁻¹`` — the fast path for tall-and-skinny
+    operands, with a squared-spectrum conditioning caveat).
     """
     if method == "lanczos":
         return lanczos_svd(matrix, rank, **kwargs)
@@ -378,15 +449,5 @@ def truncated_svd(
         dense = matrix.matrix if isinstance(matrix, DenseOperator) else np.asarray(matrix)
         if isinstance(matrix, LinearOperator) and not isinstance(matrix, DenseOperator):
             raise TypeError("method='gram' needs an explicit matrix")
-        left = gram_leading_eigvecs(dense, rank)
-        sigma = np.linalg.norm(dense.T @ left, axis=0)
-        return TRSVDResult(
-            left=left,
-            singular_values=sigma,
-            right=None,
-            iterations=1,
-            matvecs=0,
-            rmatvecs=0,
-            converged=True,
-        )
+        return gram_svd(dense, rank, **kwargs)
     raise ValueError(f"unknown TRSVD method {method!r}")

@@ -177,6 +177,7 @@ def ttmc_matricized(
     block_nnz: Optional[int] = None,
     out: Optional[np.ndarray] = None,
     workspace=None,
+    zero: str = "full",
 ) -> np.ndarray:
     """Mode-``n`` matricized TTMc result ``Y_(n) = (X ×_{-n} Uᵀ)_(n)``.
 
@@ -206,6 +207,15 @@ def ttmc_matricized(
         per-block Kronecker scratch buffer, so repeated calls (one per mode
         per HOOI iteration) stop allocating the widest temporary.  Not
         thread-safe: pass ``None`` from concurrent workers.
+    zero:
+        How much of a caller-provided ``out`` to clear before accumulating:
+        ``"full"`` (default) memsets the whole ``I_n × W`` buffer;
+        ``"touched"`` zeroes only the rows this call accumulates into (the
+        ``|J_n|`` non-empty rows, or the ``rows`` subset) — valid when the
+        caller guarantees every *other* row is already zero, as the engine's
+        per-mode pooled buffers do between sweeps; ``"none"`` skips zeroing
+        entirely (the caller takes full responsibility).  Ignored when
+        ``out`` is ``None`` (a fresh buffer is allocated zeroed).
 
     Returns
     -------
@@ -213,6 +223,8 @@ def ttmc_matricized(
     """
     mode = check_axis(mode, tensor.order)
     check_same_order(tensor.order, factors, "factors")
+    if zero not in ("full", "touched", "none"):
+        raise ValueError(f"unknown zero policy {zero!r}")
     widths = _factor_widths(factors, tensor.shape, mode)
     width = kron_row_length(widths)
     n_rows = tensor.shape[mode]
@@ -220,13 +232,15 @@ def ttmc_matricized(
 
     if out is None:
         out = np.zeros((n_rows, width), dtype=dtype)
+        zero = "none"
     else:
         if out.shape != (n_rows, width) or out.dtype != dtype:
             raise ValueError(
                 f"out has shape {out.shape} / dtype {out.dtype}, expected "
                 f"{(n_rows, width)} / {dtype}"
             )
-        out[:] = 0.0
+        if zero == "full":
+            out[:] = 0.0
 
     if tensor.nnz == 0:
         return out
@@ -235,6 +249,10 @@ def ttmc_matricized(
         symbolic = symbolic_ttmc(tensor, mode)
     elif symbolic.mode != mode or symbolic.nnz != tensor.nnz:
         raise ValueError("symbolic data does not match the tensor/mode")
+
+    if zero == "touched":
+        touched = symbolic.rows if rows is None else np.asarray(rows, dtype=np.int64)
+        out[touched] = 0.0
 
     positions, row_of_nnz = _selected_positions(symbolic, rows)
     if positions.shape[0] == 0:

@@ -84,6 +84,21 @@ def _check_ttmc_strategy(options: HOOIOptions) -> None:
         )
 
 
+def _check_execution(options: HOOIOptions) -> None:
+    """The SPMD rank program is its own execution model.
+
+    Thread/process execution backends are single-node concepts; combining
+    them with the simulated MPI world would double-count parallelism, so
+    anything but the default fails fast (mirrors the trsvd/ttmc precedent).
+    """
+    execution = getattr(options, "execution", "sequential") or "sequential"
+    if execution != "sequential":
+        raise ValueError(
+            "the distributed driver supports only execution='sequential', "
+            f"got {execution!r}"
+        )
+
+
 @dataclass
 class RankRunResult:
     """Per-rank outcome of the SPMD HOOI program."""
@@ -183,6 +198,7 @@ class DistributedBackend(ExecutionBackend):
         # checks before launching the SPMD world).
         _check_trsvd_method(eng.options)
         _check_ttmc_strategy(eng.options)
+        _check_execution(eng.options)
         # Positions of the compute rows inside the local symbolic row lists
         # (fine grain: every local row; coarse grain: the owned slices).
         self.compute_positions: List[np.ndarray] = []
@@ -332,6 +348,7 @@ def distributed_hooi(
     options = options or HOOIOptions()
     _check_trsvd_method(options)
     _check_ttmc_strategy(options)
+    _check_execution(options)
     ranks = check_rank_vector(ranks, tensor.shape)
     global_plan, plans = build_plans(tensor, partition, ranks)
     initial_factors = initialize_factors(

@@ -8,6 +8,7 @@ shared by the sequential, shared-memory and distributed HOOI drivers.
 
 from repro.engine.backend import (
     ExecutionBackend,
+    ProcessBackend,
     SequentialBackend,
     ThreadedBackend,
     parallel_symbolic,
@@ -17,6 +18,7 @@ from repro.engine.dimtree import (
     DimensionTree,
     DimTreeBackend,
     DimTreeNode,
+    ProcessDimTreeBackend,
     ThreadedDimTreeBackend,
     resolve_ttmc_backend,
 )
@@ -27,12 +29,14 @@ __all__ = [
     "ExecutionBackend",
     "SequentialBackend",
     "ThreadedBackend",
+    "ProcessBackend",
     "parallel_symbolic",
     "trsvd_kwargs",
     "DimensionTree",
     "DimTreeBackend",
     "DimTreeNode",
     "ThreadedDimTreeBackend",
+    "ProcessDimTreeBackend",
     "resolve_ttmc_backend",
     "HOOIEngine",
     "hooi_fit",

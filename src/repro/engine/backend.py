@@ -20,13 +20,16 @@ Call order per run::
     [ on_iteration_start ->
         ( on_mode_start -> compute_ttmc -> update_factor -> on_mode_end )*N ->
         form_core -> on_iteration_end ]* -> (fit/convergence in the engine)
+    -> finalize   (always, success or failure)
 
-Two backends live here: :class:`SequentialBackend` (the paper's Algorithm 1/3
-without ``parfor``) and :class:`ThreadedBackend` (Algorithm 3: parallel
-symbolic, row-parallel lock-free numeric TTMc).  The distributed per-rank
-backend lives in :mod:`repro.distributed.dist_hooi` next to the plan/exchange
-machinery it drives, and the baselines provide TTM-chain (MET) and dense
-(Gram) backends — all five drivers share this one loop.
+Three backends live here: :class:`SequentialBackend` (the paper's Algorithm
+1/3 without ``parfor``), :class:`ThreadedBackend` (Algorithm 3: parallel
+symbolic, row-parallel lock-free numeric TTMc on threads) and
+:class:`ProcessBackend` (the same decomposition on worker *processes* with
+zero-copy shared memory — true multicore, GIL-free).  The distributed
+per-rank backend lives in :mod:`repro.distributed.dist_hooi` next to the
+plan/exchange machinery it drives, and the baselines provide TTM-chain (MET)
+and dense (Gram) backends — all drivers share this one loop.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ __all__ = [
     "ExecutionBackend",
     "SequentialBackend",
     "ThreadedBackend",
+    "ProcessBackend",
     "trsvd_kwargs",
     "parallel_symbolic",
 ]
@@ -113,13 +117,29 @@ class ExecutionBackend:
 
     # -- the three heavy steps ------------------------------------------- #
     def _pooled_out(self, eng, mode: int) -> np.ndarray:
-        """The pooled ``(I_n, ∏R_t)`` output buffer for this mode's TTMc."""
+        """The pooled ``(I_n, ∏R_t)`` output buffer for this mode's TTMc.
+
+        Buffers are keyed per mode and fully zeroed only on their first use
+        in a run; afterwards the numeric kernels clear (or overwrite) just
+        the ``|J_n|`` touched rows, so steady-state sweeps never memset the
+        full ``I_n × W`` matrix — measurable on hypersparse modes.  The
+        per-run set of primed buffers lives on the engine
+        (``eng._primed_ttmc_out``), which :meth:`HOOIEngine.run` resets.
+        """
         width = kron_row_length(
             [eng.factors[t].shape[1] for t in range(eng.order) if t != mode]
         )
-        return eng.workspace.take(
-            (eng.tensor.shape[mode], width), eng.dtype, tag="ttmc-out"
+        buffer = eng.workspace.take(
+            (eng.tensor.shape[mode], width), eng.dtype, tag=f"ttmc-out-{mode}"
         )
+        primed = getattr(eng, "_primed_ttmc_out", None)
+        if primed is None:
+            primed = eng._primed_ttmc_out = set()
+        key = (mode, buffer.shape, buffer.dtype)
+        if key not in primed:
+            buffer[...] = 0
+            primed.add(key)
+        return buffer
 
     def compute_ttmc(self, eng, mode: int) -> np.ndarray:
         """Numeric TTMc of ``mode`` into a pooled ``(I_n, ∏R_t)`` buffer."""
@@ -131,6 +151,9 @@ class ExecutionBackend:
             block_nnz=eng.options.block_nnz,
             out=self._pooled_out(eng, mode),
             workspace=eng.workspace,
+            # _pooled_out guarantees rows outside J_n are zero, so only the
+            # touched rows need clearing between sweeps.
+            zero="touched",
         )
 
     def update_factor(
@@ -160,6 +183,10 @@ class ExecutionBackend:
         pass
 
     def on_mode_end(self, eng, mode: int) -> None:
+        pass
+
+    def finalize(self, eng) -> None:
+        """Release per-run resources (called exactly once, success or not)."""
         pass
 
 
@@ -199,4 +226,67 @@ class ThreadedBackend(ExecutionBackend):
             config=self.config,
             block_nnz=eng.options.block_nnz,
             out=self._pooled_out(eng, mode),
+            # Every J_n row is assigned and _pooled_out keeps the rest zero,
+            # so no zeroing pass is needed at all.
+            zero="none",
         )
+
+
+class ProcessBackend(SequentialBackend):
+    """True-multicore execution: worker processes + zero-copy shared memory.
+
+    The decomposition is exactly the paper's Algorithm 3 — the non-empty
+    rows ``J_n`` are chunked with an OpenMP-like schedule and each chunk is
+    one lock-free task — but tasks run on a persistent pool of worker
+    *processes* (:class:`~repro.parallel.process_pool.HOOIProcessPool`), so
+    the hot gather/Kronecker/segment-sum work escapes the GIL and really
+    uses multiple cores.  The tensor, symbolic structures, factors and the
+    ``Y_(n)`` buffers live in ``multiprocessing.shared_memory`` segments
+    that workers attach once at pool startup; only tiny ``(mode, row_chunk)``
+    descriptors cross process boundaries, and refreshed factors are
+    broadcast by writing their shared segment after each TRSVD.
+
+    ``num_workers <= 1`` degenerates to the sequential backend: no worker
+    processes are spawned and no shared memory is allocated.
+    """
+
+    name = "process"
+
+    def __init__(self, config=None) -> None:
+        from repro.parallel.process_pool import ProcessConfig
+
+        self.config = config or ProcessConfig()
+        self.pool = None
+
+    def prepare(self, eng) -> None:
+        if self.config.num_workers <= 1:
+            super().prepare(eng)
+            return
+        from repro.parallel.process_pool import HOOIProcessPool
+
+        self.symbolic = parallel_symbolic(eng.tensor, self.config.num_workers)
+        self.pool = HOOIProcessPool.for_per_mode(
+            eng.tensor,
+            self.symbolic,
+            eng.factors,
+            eng.ranks,
+            eng.dtype,
+            config=self.config,
+            block_nnz=eng.options.block_nnz,
+        )
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        if self.pool is None:
+            return super().compute_ttmc(eng, mode)
+        return self.pool.ttmc(mode)
+
+    def update_factor(self, eng, mode: int, y_mat: np.ndarray):
+        new_factor, stats = super().update_factor(eng, mode, y_mat)
+        if self.pool is not None:
+            self.pool.write_factor(mode, new_factor)
+        return new_factor, stats
+
+    def finalize(self, eng) -> None:
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None

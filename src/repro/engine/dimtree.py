@@ -52,7 +52,7 @@ from repro.core.subset_ttmc import (
     group_fibers,
     subset_widths,
 )
-from repro.engine.backend import SequentialBackend, ThreadedBackend
+from repro.engine.backend import ProcessBackend, SequentialBackend, ThreadedBackend
 from repro.util.validation import check_axis
 
 __all__ = [
@@ -60,6 +60,7 @@ __all__ = [
     "DimensionTree",
     "DimTreeBackend",
     "ThreadedDimTreeBackend",
+    "ProcessDimTreeBackend",
     "resolve_ttmc_backend",
 ]
 
@@ -228,6 +229,8 @@ class DimensionTree:
         workspace=None,
         block_nnz: Optional[int] = None,
         parallel_config=None,
+        edge_executor=None,
+        zero: str = "full",
     ) -> np.ndarray:
         """Serve ``Y_(mode)`` from the tree, refreshing stale path nodes.
 
@@ -236,9 +239,18 @@ class DimensionTree:
         may be ``None``.  ``workspace`` supplies the node payload and scratch
         buffers; ``parallel_config`` (a
         :class:`~repro.parallel.parallel_for.ParallelConfig`) switches the
-        edge updates to the row-parallel lock-free path.
+        edge updates to the row-parallel lock-free path; ``edge_executor``
+        (``executor(node) -> payload``) delegates both the payload buffer
+        and the numeric refinement of a stale non-root node to an external
+        engine — the process backend routes edges to its worker pool this
+        way.  ``zero`` controls how much of a caller-provided ``out`` is
+        cleared (``"full"``/``"touched"``/``"none"``); the leaf rows are
+        *assigned*, so ``"none"`` is sufficient when the caller keeps the
+        empty rows zero (the engine's per-mode pooled buffers do).
         """
         mode = check_axis(mode, self.order)
+        if zero not in ("full", "touched", "none"):
+            raise ValueError(f"unknown zero policy {zero!r}")
         if len(factors) != self.order:
             raise ValueError(
                 f"expected {self.order} factors, got {len(factors)}"
@@ -266,6 +278,7 @@ class DimensionTree:
                 node, factors, ranks, dtype,
                 workspace=workspace, block_nnz=block_nnz,
                 parallel_config=parallel_config,
+                edge_executor=edge_executor,
             )
         leaf = path[-1]
 
@@ -280,7 +293,10 @@ class DimensionTree:
                     f"out has shape {out.shape} / dtype {out.dtype}, expected "
                     f"{(self.shape[mode], width)} / {dtype}"
                 )
-            out[:] = 0.0
+            if zero == "full":
+                out[:] = 0.0
+            # "touched" degenerates to "none" here: the touched rows are the
+            # leaf's fiber rows, which the assignment below overwrites anyway.
         if leaf.num_fibers:
             out[leaf.index_cols[:, 0]] = leaf.payload
         return out
@@ -295,6 +311,7 @@ class DimensionTree:
         workspace,
         block_nnz,
         parallel_config,
+        edge_executor=None,
     ) -> None:
         if node is self.root:
             if node.payload is None or node.cache_dtype != dtype:
@@ -320,43 +337,54 @@ class DimensionTree:
             [f.shape[1] for f in sibling_factors]
         )
         shape = (node.num_fibers, child_width)
-        if workspace is not None:
-            payload = workspace.take(
-                shape, dtype, tag=f"{self._token}-node{node.node_id}"
-            )
+        if edge_executor is not None:
+            # External engine (the process pool): it owns the payload buffer
+            # and performs the refinement — typically fiber-parallel on
+            # worker processes against shared-memory views of this tree.
+            payload = edge_executor(node)
+            if payload.shape != shape or payload.dtype != dtype:
+                raise ValueError(
+                    f"edge executor returned a {payload.shape}/{payload.dtype} "
+                    f"payload for node {node.node_id}, expected {shape}/{dtype}"
+                )
         else:
-            payload = np.empty(shape, dtype=dtype)
+            if workspace is not None:
+                payload = workspace.take(
+                    shape, dtype, tag=f"{self._token}-node{node.node_id}"
+                )
+            else:
+                payload = np.empty(shape, dtype=dtype)
 
-        if parallel_config is not None and parallel_config.num_threads > 1:
-            from repro.parallel.shared_dimtree import parallel_edge_update
+            if parallel_config is not None and parallel_config.num_threads > 1:
+                from repro.parallel.shared_dimtree import parallel_edge_update
 
-            parallel_edge_update(
-                node.grouping,
-                parent.payload,
-                parent.index_cols,
-                node.sibling_cols,
-                sibling_factors,
-                lo_width,
-                hi_width,
-                payload,
-                parallel_config,
-                block_nnz=block_nnz,
-            )
-        else:
-            edge_update_groups(
-                node.grouping,
-                0,
-                node.num_fibers,
-                parent.payload,
-                parent.index_cols,
-                node.sibling_cols,
-                sibling_factors,
-                lo_width,
-                hi_width,
-                payload,
-                block_nnz=block_nnz,
-                workspace=workspace,
-            )
+                parallel_edge_update(
+                    node.grouping,
+                    parent.payload,
+                    parent.index_cols,
+                    node.sibling_cols,
+                    sibling_factors,
+                    lo_width,
+                    hi_width,
+                    payload,
+                    parallel_config,
+                    block_nnz=block_nnz,
+                )
+            else:
+                edge_update_groups(
+                    node.grouping,
+                    0,
+                    node.num_fibers,
+                    parent.payload,
+                    parent.index_cols,
+                    node.sibling_cols,
+                    sibling_factors,
+                    lo_width,
+                    hi_width,
+                    payload,
+                    block_nnz=block_nnz,
+                    workspace=workspace,
+                )
         node.payload = payload
         node.cache_dtype = dtype
         node.cache_ranks = sig
@@ -392,6 +420,9 @@ class DimTreeBackend(SequentialBackend):
             out=self._pooled_out(eng, mode),
             workspace=eng.workspace,
             block_nnz=eng.options.block_nnz,
+            # _pooled_out keeps rows outside the leaf fibers zero and the
+            # leaf rows are assigned, so no zeroing pass is needed.
+            zero="none",
         )
 
     def update_factor(self, eng, mode: int, y_mat: np.ndarray):
@@ -428,22 +459,118 @@ class ThreadedDimTreeBackend(DimTreeBackend):
             workspace=eng.workspace,
             block_nnz=eng.options.block_nnz,
             parallel_config=self.config,
+            zero="none",
         )
+
+
+class ProcessDimTreeBackend(DimTreeBackend):
+    """True-multicore execution with dimension-tree TTMc evaluation.
+
+    The driver keeps the symbolic tree and its version counters (so it knows
+    exactly which partial chains a factor refresh made stale), while every
+    numeric edge refinement is dispatched as fiber-range chunks to the
+    persistent worker pool.  The tree's fiber groupings and all node
+    payloads live in shared memory, so workers read the parent payload and
+    write their disjoint slice of the child payload with zero copies; the
+    driver scatters the finished leaf payload into its pooled ``Y_(n)``.
+
+    ``num_workers <= 1`` degenerates to the sequential dimension-tree
+    backend (no processes, no shared memory).
+    """
+
+    name = "process-dimtree"
+
+    def __init__(self, config=None) -> None:
+        from repro.parallel.process_pool import ProcessConfig
+
+        super().__init__()
+        self.config = config or ProcessConfig()
+        self.pool = None
+
+    def prepare(self, eng) -> None:
+        super().prepare(eng)
+        if self.config.num_workers <= 1:
+            return
+        from repro.parallel.process_pool import HOOIProcessPool
+
+        self.pool = HOOIProcessPool.for_dimtree(
+            self.tree,
+            eng.tensor,
+            eng.factors,
+            eng.ranks,
+            eng.dtype,
+            config=self.config,
+            block_nnz=eng.options.block_nnz,
+        )
+
+    def _edge_executor(self, node: DimTreeNode) -> np.ndarray:
+        return self.pool.dimtree_edge(node.node_id)
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        if self.pool is None:
+            return super().compute_ttmc(eng, mode)
+        return self.tree.leaf_matricized(
+            mode,
+            eng.factors,
+            dtype=eng.dtype,
+            out=self._pooled_out(eng, mode),
+            workspace=eng.workspace,
+            block_nnz=eng.options.block_nnz,
+            edge_executor=self._edge_executor,
+            zero="none",
+        )
+
+    def update_factor(self, eng, mode: int, y_mat: np.ndarray):
+        new_factor, stats = super().update_factor(eng, mode, y_mat)
+        if self.pool is not None:
+            self.pool.write_factor(mode, new_factor)
+        return new_factor, stats
+
+    def finalize(self, eng) -> None:
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
 
 
 def resolve_ttmc_backend(options, config=None):
-    """Backend implied by ``HOOIOptions.ttmc_strategy``.
+    """Backend implied by ``HOOIOptions.ttmc_strategy`` and ``.execution``.
 
     ``config`` (a :class:`~repro.parallel.parallel_for.ParallelConfig`)
-    selects the threaded variants; ``None`` the sequential ones.
+    comes from the threaded driver and selects the thread-parallel variants;
+    without it, ``options.execution`` decides: ``"sequential"`` (default),
+    ``"thread"`` (``options.num_workers`` threads) or ``"process"``
+    (``options.num_workers`` worker processes with zero-copy shared memory).
+    Both axes compose with either ``ttmc_strategy``.
     """
     strategy = getattr(options, "ttmc_strategy", "per-mode") or "per-mode"
+    if strategy not in ("per-mode", "dimtree"):
+        raise ValueError(
+            f"unknown ttmc_strategy {strategy!r}: expected 'per-mode' or 'dimtree'"
+        )
+    execution = getattr(options, "execution", "sequential") or "sequential"
+    if execution not in ("sequential", "thread", "process"):
+        raise ValueError(
+            f"unknown execution {execution!r}: expected 'sequential', "
+            "'thread' or 'process'"
+        )
+    num_workers = int(getattr(options, "num_workers", 1) or 1)
+    if execution == "process":
+        from repro.parallel.process_pool import ProcessConfig
+
+        if num_workers <= 1 and config is not None:
+            num_workers = config.num_threads
+        pconfig = ProcessConfig(
+            num_workers=num_workers,
+            schedule=config.schedule if config is not None else "dynamic",
+            chunk_size=config.chunk_size if config is not None else None,
+        )
+        if strategy == "dimtree":
+            return ProcessDimTreeBackend(pconfig)
+        return ProcessBackend(pconfig)
+    if execution == "thread" and config is None:
+        from repro.parallel.parallel_for import ParallelConfig
+
+        config = ParallelConfig(num_threads=num_workers)
     if strategy == "per-mode":
         return SequentialBackend() if config is None else ThreadedBackend(config)
-    if strategy == "dimtree":
-        return (
-            DimTreeBackend() if config is None else ThreadedDimTreeBackend(config)
-        )
-    raise ValueError(
-        f"unknown ttmc_strategy {strategy!r}: expected 'per-mode' or 'dimtree'"
-    )
+    return DimTreeBackend() if config is None else ThreadedDimTreeBackend(config)

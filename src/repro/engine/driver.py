@@ -90,15 +90,18 @@ class HOOIEngine:
         self.timings = TimingBreakdown()
         self.factors: Optional[List[np.ndarray]] = None
         self.iteration_seconds: List[float] = []
+        # Pooled TTMc output buffers already fully zeroed this run (the
+        # backend's _pooled_out handshake; reset per run).
+        self._primed_ttmc_out: set = set()
 
     def run(
         self, *, callback: Optional[Callable[[int, float], None]] = None
     ) -> HOOIResult:
         """Execute the HOOI state machine and return the packaged result."""
-        options = self.options
         backend = self.backend
         timings = self.timings
 
+        self._primed_ttmc_out = set()
         backend.prepare_tensor(self)
         with timings.time("init"):
             self.factors = [
@@ -107,6 +110,20 @@ class HOOIEngine:
             ]
         with timings.time("symbolic"):
             backend.prepare(self)
+        try:
+            return self._run_iterations(callback=callback)
+        finally:
+            # Per-run resources (e.g. the process backend's worker pool and
+            # shared segments) are released whether the run succeeded or not.
+            backend.finalize(self)
+
+    def _run_iterations(
+        self, *, callback: Optional[Callable[[int, float], None]] = None
+    ) -> HOOIResult:
+        """The iteration state machine (factored out so run() can finalize)."""
+        options = self.options
+        backend = self.backend
+        timings = self.timings
 
         norm_x = backend.tensor_norm(self)
         fit_history: List[float] = []

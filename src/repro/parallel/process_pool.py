@@ -1,0 +1,567 @@
+"""Persistent multiprocess worker pool for true-multicore HOOI.
+
+The threaded backend decomposes the TTMc exactly as the paper's Algorithm 3,
+but CPython's GIL serializes the hot gather / ``batch_kron_rows`` /
+``np.add.reduceat`` work, so threads measure *decomposition*, not speedup.
+This module provides the same row-parallel, lock-free execution on worker
+*processes* with zero-copy shared memory:
+
+* All big operands live in a :class:`~repro.parallel.shm.ShmArena` — the
+  tensor's ``indices``/``values``, every mode's symbolic update lists (or the
+  dimension tree's fiber groupings), the factor matrices, and the ``Y_(n)``
+  output buffers (or tree-node payloads).  Workers attach views once at pool
+  startup and reuse them across every mode and iteration.
+* Numeric work is dispatched as tiny ``(mode, row_chunk)`` /
+  ``(node, fiber_chunk)`` descriptors over the same static/dynamic/guided
+  :func:`~repro.parallel.parallel_for.make_chunks` schedules the threaded
+  backend uses.  Each chunk's rows are written by exactly one worker into a
+  row-disjoint slice of the shared output — no locks, and no result pickling.
+* Factor refreshes are *broadcast by memory*: after each TRSVD the driver
+  writes the new ``U_n`` into its shared segment (:meth:`write_factor`); the
+  queue hand-off of the next task batch orders the write before any read, so
+  workers always compute with current factors.  For the dimension tree the
+  driver's version counters decide which nodes went stale; workers stay
+  stateless and simply execute the edge chunks they are handed.
+
+The pool is bound to one engine run (fixed tensor, ranks and dtype) and must
+be closed with :meth:`close` — idempotent, crash-safe (the arena unlinks its
+segments even on abnormal teardown), and automatically invoked by the
+engine's ``finalize`` hook.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.core.symbolic import ModeSymbolic
+from repro.core.subset_ttmc import FiberGrouping, edge_update_groups, subset_widths
+from repro.core.kron import kron_row_length
+from repro.parallel.parallel_for import make_chunks
+from repro.parallel.shm import ShmArena, ShmView
+
+__all__ = [
+    "ProcessConfig",
+    "WorkerCrashError",
+    "HOOIProcessPool",
+    "default_start_method",
+]
+
+#: Environment variable overriding the multiprocessing start method.
+START_METHOD_ENV = "REPRO_PROCESS_START_METHOD"
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap startup), else ``spawn``.
+
+    Overridable via ``REPRO_PROCESS_START_METHOD`` for debugging — ``spawn``
+    gives workers a pristine interpreter at the cost of re-importing NumPy.
+    """
+    override = os.environ.get(START_METHOD_ENV)
+    if override:
+        return override
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+@dataclass(frozen=True)
+class ProcessConfig:
+    """Configuration of the process pool (mirrors :class:`ParallelConfig`)."""
+
+    num_workers: int = 1
+    schedule: str = "dynamic"
+    chunk_size: Optional[int] = None
+    start_method: Optional[str] = None
+    startup_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.schedule not in ("static", "dynamic", "guided"):
+            raise ValueError(f"unknown schedule {self.schedule!r}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when given")
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died while (or before) executing dispatched work."""
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+class _WorkerState:
+    """Per-worker views of the shared operands, built once at startup."""
+
+    def __init__(self, view: ShmView, meta: dict) -> None:
+        self.view = view
+        self.shape = tuple(meta["shape"])
+        self.dtype = np.dtype(meta["dtype"])
+        self.block_nnz = meta["block_nnz"]
+        order = len(self.shape)
+        self.factors: List[np.ndarray] = [view[f"factor{n}"] for n in range(order)]
+        self.strategy = meta["strategy"]
+        if self.strategy == "per-mode":
+            from repro.core.sparse_tensor import SparseTensor
+
+            self.tensor = SparseTensor(
+                view["indices"], view["values"], self.shape, copy=False
+            )
+            self.symbolic: Dict[int, ModeSymbolic] = {
+                n: ModeSymbolic(
+                    mode=n,
+                    rows=view[f"sym-rows{n}"],
+                    perm=view[f"sym-perm{n}"],
+                    rowptr=view[f"sym-rowptr{n}"],
+                )
+                for n in range(order)
+            }
+            self.outs: Dict[int, np.ndarray] = {
+                n: view[f"out{n}"] for n in range(order)
+            }
+        else:
+            root_id = meta["root_id"]
+            self.edges: Dict[int, dict] = {e["node"]: e for e in meta["edges"]}
+            self.groupings: Dict[int, FiberGrouping] = {
+                nid: FiberGrouping(
+                    indices=view[f"grp-idx{nid}"],
+                    perm=view[f"grp-perm{nid}"],
+                    segptr=view[f"grp-segptr{nid}"],
+                )
+                for nid in self.edges
+            }
+            self.payloads: Dict[int, np.ndarray] = {root_id: view[f"payload{root_id}"]}
+            self.index_cols: Dict[int, np.ndarray] = {root_id: view["indices"]}
+            for nid, grouping in self.groupings.items():
+                self.payloads[nid] = view[f"payload{nid}"]
+                self.index_cols[nid] = grouping.indices
+
+    def ttmc_rows(self, mode: int, start: int, stop: int) -> None:
+        """Compute rows ``start:stop`` of ``J_mode`` into the shared output."""
+        from repro.parallel.shared_ttmc import ttmc_row_block
+
+        symbolic = self.symbolic[mode]
+        block = ttmc_row_block(
+            self.tensor,
+            self.factors,
+            mode,
+            symbolic,
+            np.arange(start, stop, dtype=np.int64),
+            block_nnz=self.block_nnz,
+        )
+        self.outs[mode][symbolic.rows[start:stop]] = block
+
+    def edge_groups(self, node_id: int, start: int, stop: int) -> None:
+        """Refine fiber groups ``start:stop`` of one dimension-tree edge."""
+        edge = self.edges[node_id]
+        edge_update_groups(
+            self.groupings[node_id],
+            start,
+            stop,
+            self.payloads[edge["parent"]],
+            self.index_cols[edge["parent"]],
+            edge["sibling_cols"],
+            [self.factors[m] for m in edge["sibling_modes"]],
+            edge["lo_width"],
+            edge["hi_width"],
+            self.payloads[node_id][start:stop],
+            block_nnz=self.block_nnz,
+        )
+
+
+def _worker_main(worker_id: int, specs, meta: dict, task_q, done_q) -> None:
+    """Worker loop: attach shared views once, then drain chunk descriptors."""
+    try:
+        view = ShmView(specs)
+        state = _WorkerState(view, meta)
+    except BaseException as exc:
+        done_q.put(("__ready__", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    done_q.put(("__ready__", worker_id, None))
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                return
+            kind, task_id = task[0], task[1]
+            try:
+                if kind == "ttmc":
+                    state.ttmc_rows(task[2], task[3], task[4])
+                elif kind == "edge":
+                    state.edge_groups(task[2], task[3], task[4])
+                else:
+                    raise ValueError(f"unknown task kind {kind!r}")
+                error = None
+            except BaseException as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            done_q.put((task_id, worker_id, error))
+    finally:
+        view.close()
+
+
+# --------------------------------------------------------------------------- #
+# Driver side
+# --------------------------------------------------------------------------- #
+class HOOIProcessPool:
+    """A persistent pool of worker processes attached to one shared arena.
+
+    Build one with :meth:`for_per_mode` (row-parallel ``Y_(n)`` TTMc) or
+    :meth:`for_dimtree` (fiber-parallel dimension-tree edge updates), drive
+    it with :meth:`ttmc` / :meth:`dimtree_edge` / :meth:`write_factor`, and
+    release it with :meth:`close` (or use it as a context manager).
+    """
+
+    def __init__(self, *, arena: ShmArena, meta: dict, mode_rows: Dict[int, int],
+                 node_groups: Dict[int, int], config: ProcessConfig) -> None:
+        self._arena = arena
+        self._meta = meta
+        self._mode_rows = mode_rows
+        self._node_groups = node_groups
+        self.config = config
+        self._closed = False
+        self._broken = False
+        self._task_counter = 0
+        self.workers: List[mp.process.BaseProcess] = []
+        try:
+            ctx = mp.get_context(config.start_method or default_start_method())
+            self._task_q = ctx.Queue()
+            self._done_q = ctx.Queue()
+            for worker_id in range(config.num_workers):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(worker_id, arena.specs, meta, self._task_q, self._done_q),
+                    name=f"repro-hooi-worker-{worker_id}",
+                    daemon=True,
+                )
+                proc.start()
+                self.workers.append(proc)
+            self._wait_ready()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- constructors ---------------------------------------------------- #
+    @classmethod
+    def for_per_mode(
+        cls,
+        tensor,
+        symbolic: Dict[int, ModeSymbolic],
+        factors: Sequence[np.ndarray],
+        ranks: Sequence[int],
+        dtype,
+        *,
+        config: Optional[ProcessConfig] = None,
+        block_nnz: Optional[int] = None,
+    ) -> "HOOIProcessPool":
+        """Pool executing the per-mode row-parallel TTMc (Algorithm 3)."""
+        config = config or ProcessConfig()
+        dtype = np.dtype(dtype)
+        ranks = [int(r) for r in ranks]
+        order = tensor.order
+        widths = [
+            kron_row_length([ranks[t] for t in range(order) if t != n])
+            for n in range(order)
+        ]
+        for n in range(order):
+            if ranks[n] > min(tensor.shape[n], widths[n]):
+                raise ValueError(
+                    f"rank {ranks[n]} of mode {n} exceeds min(I_n, W_n) = "
+                    f"{min(tensor.shape[n], widths[n])}; the TRSVD would "
+                    "return fewer columns and the process backend needs "
+                    "fixed factor shapes"
+                )
+        arena = ShmArena()
+        try:
+            arena.put("indices", tensor.indices)
+            arena.put("values", np.asarray(tensor.values, dtype=dtype))
+            mode_rows: Dict[int, int] = {}
+            for n in range(order):
+                arena.put(f"factor{n}", np.asarray(factors[n], dtype=dtype))
+                sym = symbolic[n]
+                arena.put(f"sym-rows{n}", sym.rows)
+                arena.put(f"sym-perm{n}", sym.perm)
+                arena.put(f"sym-rowptr{n}", sym.rowptr)
+                arena.zeros(f"out{n}", (tensor.shape[n], widths[n]), dtype)
+                mode_rows[n] = sym.num_rows
+            meta = {
+                "strategy": "per-mode",
+                "shape": tuple(int(s) for s in tensor.shape),
+                "ranks": tuple(ranks),
+                "dtype": dtype.str,
+                "block_nnz": block_nnz,
+            }
+            return cls(
+                arena=arena, meta=meta, mode_rows=mode_rows,
+                node_groups={}, config=config,
+            )
+        except BaseException:
+            arena.unlink()
+            raise
+
+    @classmethod
+    def for_dimtree(
+        cls,
+        tree,
+        tensor,
+        factors: Sequence[np.ndarray],
+        ranks: Sequence[int],
+        dtype,
+        *,
+        config: Optional[ProcessConfig] = None,
+        block_nnz: Optional[int] = None,
+    ) -> "HOOIProcessPool":
+        """Pool executing fiber-parallel dimension-tree edge updates.
+
+        ``tree`` is a built :class:`~repro.engine.dimtree.DimensionTree`;
+        its symbolic fiber groupings and every node payload are placed in
+        shared memory, so the driver's tree and the workers operate on the
+        same buffers (the driver keeps the version counters and decides
+        *which* edges are stale; workers execute the chunks).
+        """
+        config = config or ProcessConfig()
+        dtype = np.dtype(dtype)
+        ranks = [int(r) for r in ranks]
+        order = tensor.order
+        for n in range(order):
+            width = kron_row_length([ranks[t] for t in range(order) if t != n])
+            if ranks[n] > min(tensor.shape[n], width):
+                raise ValueError(
+                    f"rank {ranks[n]} of mode {n} exceeds min(I_n, W_n) = "
+                    f"{min(tensor.shape[n], width)}; the TRSVD would "
+                    "return fewer columns and the process backend needs "
+                    "fixed factor shapes"
+                )
+        arena = ShmArena()
+        try:
+            arena.put("indices", tensor.indices)
+            root_id = int(tree.root.node_id)
+            arena.put(
+                f"payload{root_id}",
+                np.asarray(tensor.values, dtype=dtype).reshape(-1, 1),
+            )
+            edges: List[dict] = []
+            node_groups: Dict[int, int] = {}
+            for node in tree.nodes:
+                if node is tree.root:
+                    continue
+                parent = node.parent
+                lo_width, hi_width = subset_widths(ranks, parent.lo, parent.hi)
+                sib_width = kron_row_length(
+                    [ranks[m] for m in node.sibling_modes]
+                )
+                child_width = lo_width * hi_width * sib_width
+                nid = int(node.node_id)
+                arena.put(f"grp-idx{nid}", node.grouping.indices)
+                arena.put(f"grp-perm{nid}", node.grouping.perm)
+                arena.put(f"grp-segptr{nid}", node.grouping.segptr)
+                arena.zeros(f"payload{nid}", (node.num_fibers, child_width), dtype)
+                edges.append({
+                    "node": nid,
+                    "parent": int(parent.node_id),
+                    "sibling_modes": tuple(int(m) for m in node.sibling_modes),
+                    "sibling_cols": tuple(int(c) for c in node.sibling_cols),
+                    "lo_width": int(lo_width),
+                    "hi_width": int(hi_width),
+                })
+                node_groups[nid] = node.num_fibers
+            for n in range(tensor.order):
+                arena.put(f"factor{n}", np.asarray(factors[n], dtype=dtype))
+            meta = {
+                "strategy": "dimtree",
+                "shape": tuple(int(s) for s in tensor.shape),
+                "ranks": tuple(ranks),
+                "dtype": dtype.str,
+                "block_nnz": block_nnz,
+                "root_id": root_id,
+                "edges": edges,
+            }
+            return cls(
+                arena=arena, meta=meta, mode_rows={},
+                node_groups=node_groups, config=config,
+            )
+        except BaseException:
+            arena.unlink()
+            raise
+
+    # -- dispatch -------------------------------------------------------- #
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise RuntimeError("the process pool is closed")
+        if self._broken:
+            raise WorkerCrashError(
+                "the process pool is broken (a worker died or a task failed); "
+                "close() it and build a new pool"
+            )
+        dead = [w for w in self.workers if not w.is_alive()]
+        if dead:
+            self._broken = True
+            raise WorkerCrashError(
+                f"{len(dead)} worker process(es) died "
+                f"(exit codes {[w.exitcode for w in dead]})"
+            )
+
+    def _wait_ready(self) -> None:
+        deadline = time.monotonic() + self.config.startup_timeout
+        ready = 0
+        while ready < len(self.workers):
+            try:
+                tag, worker_id, error = self._done_q.get(timeout=0.2)
+            except queue_module.Empty:
+                if any(not w.is_alive() for w in self.workers):
+                    raise WorkerCrashError(
+                        "a worker process died during startup"
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        "worker processes did not report ready within "
+                        f"{self.config.startup_timeout:.0f}s"
+                    )
+                continue
+            if tag != "__ready__":  # pragma: no cover - defensive
+                continue
+            if error is not None:
+                raise RuntimeError(
+                    f"worker {worker_id} failed to attach shared memory: {error}"
+                )
+            ready += 1
+
+    def _dispatch(self, tasks: List[Tuple]) -> None:
+        """Enqueue a batch of chunk descriptors and wait for all acks."""
+        self._check_usable()
+        pending = set()
+        for task in tasks:
+            task_id = self._task_counter
+            self._task_counter += 1
+            self._task_q.put((task[0], task_id) + tuple(task[1:]))
+            pending.add(task_id)
+        errors: List[str] = []
+        while pending:
+            try:
+                task_id, _worker_id, error = self._done_q.get(timeout=0.2)
+            except queue_module.Empty:
+                if any(not w.is_alive() for w in self.workers):
+                    self._broken = True
+                    dead = [w for w in self.workers if not w.is_alive()]
+                    raise WorkerCrashError(
+                        f"{len(dead)} worker process(es) died mid-batch "
+                        f"(exit codes {[w.exitcode for w in dead]})"
+                    ) from None
+                continue
+            pending.discard(task_id)
+            if error is not None:
+                errors.append(error)
+        if errors:
+            self._broken = True
+            raise RuntimeError(f"worker task failed: {errors[0]}")
+
+    def _chunks(self, num_items: int):
+        return make_chunks(
+            num_items,
+            self.config.num_workers,
+            schedule=self.config.schedule,
+            chunk_size=self.config.chunk_size,
+        )
+
+    # -- public operations ----------------------------------------------- #
+    def ttmc(self, mode: int) -> np.ndarray:
+        """Row-parallel ``Y_(mode)`` into (and returning) the shared buffer."""
+        self._check_usable()
+        out = self._arena[f"out{mode}"]
+        num_rows = self._mode_rows[mode]
+        if num_rows:
+            self._dispatch(
+                [("ttmc", mode, start, stop) for start, stop in self._chunks(num_rows)]
+            )
+        return out
+
+    def dimtree_edge(self, node_id: int) -> np.ndarray:
+        """Fiber-parallel refinement of one tree edge; returns the payload."""
+        self._check_usable()
+        payload = self._arena[f"payload{int(node_id)}"]
+        num_groups = self._node_groups[int(node_id)]
+        if num_groups:
+            self._dispatch(
+                [
+                    ("edge", int(node_id), start, stop)
+                    for start, stop in self._chunks(num_groups)
+                ]
+            )
+        return payload
+
+    def node_payload(self, node_id: int) -> np.ndarray:
+        """The shared payload buffer of a dimension-tree node."""
+        return self._arena[f"payload{int(node_id)}"]
+
+    def write_factor(self, mode: int, array: np.ndarray) -> None:
+        """Broadcast a refreshed factor by writing its shared segment.
+
+        The write happens-before the next task dispatch (queue hand-off), so
+        workers never read a half-updated factor.
+        """
+        if self._closed:
+            raise RuntimeError("the process pool is closed")
+        segment = self._arena[f"factor{mode}"]
+        array = np.asarray(array, dtype=segment.dtype)
+        if array.shape != segment.shape:
+            raise ValueError(
+                f"factor for mode {mode} has shape {array.shape}, but the "
+                f"shared segment is {segment.shape}: the process backend "
+                "requires fixed factor shapes across iterations"
+            )
+        segment[...] = array
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        """OS names of the arena's segments (for leak checks in tests)."""
+        return self._arena.segment_names
+
+    # -- lifecycle ------------------------------------------------------- #
+    def close(self) -> None:
+        """Stop the workers and destroy the shared segments (idempotent)."""
+        if self._closed:
+            self._arena.unlink()
+            return
+        self._closed = True
+        for _ in self.workers:
+            try:
+                self._task_q.put(None)
+            except (OSError, ValueError):
+                break
+        for worker in self.workers:
+            worker.join(timeout=2.0)
+        for worker in self.workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+            if worker.is_alive():  # pragma: no cover - last resort
+                worker.kill()
+                worker.join(timeout=1.0)
+        for q in (getattr(self, "_task_q", None), getattr(self, "_done_q", None)):
+            if q is None:
+                continue
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):
+                pass
+        self._arena.close()
+        self._arena.unlink()
+
+    def __enter__(self) -> "HOOIProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else ("broken" if self._broken else "live")
+        return (
+            f"HOOIProcessPool(workers={len(self.workers)}, "
+            f"strategy={self._meta['strategy']!r}, {state})"
+        )

@@ -92,15 +92,24 @@ def parallel_ttmc_matricized(
     config: Optional[ParallelConfig] = None,
     out: Optional[np.ndarray] = None,
     block_nnz: Optional[int] = None,
+    zero: str = "full",
 ) -> np.ndarray:
     """Shared-memory parallel ``Y_(n) = (X ×_{-n} Uᵀ)_(n)``.
 
     The non-empty rows ``J_n`` are chunked according to ``config`` and each
     chunk is computed by :func:`ttmc_row_block` on a worker thread; workers
     write disjoint row slices of the shared output, so the loop is lock-free.
+
+    ``zero`` controls how much of a caller-provided ``out`` is cleared:
+    every ``J_n`` row is *assigned* (not accumulated) here, so ``"none"`` is
+    sufficient whenever the caller guarantees the empty rows are already
+    zero (the engine's per-mode pooled buffers are); ``"touched"`` re-zeroes
+    the ``J_n`` rows, ``"full"`` (default) memsets the whole buffer.
     """
     mode = check_axis(mode, tensor.order)
     config = config or ParallelConfig()
+    if zero not in ("full", "touched", "none"):
+        raise ValueError(f"unknown zero policy {zero!r}")
     if symbolic is None:
         symbolic = symbolic_ttmc(tensor, mode)
     widths = [
@@ -117,7 +126,10 @@ def parallel_ttmc_matricized(
                 f"out has shape {out.shape} / dtype {out.dtype}, expected "
                 f"{(n_rows, width)} / {dtype}"
             )
-        out[:] = 0.0
+        if zero == "full":
+            out[:] = 0.0
+        elif zero == "touched" and symbolic.num_rows:
+            out[symbolic.rows] = 0.0
     if symbolic.num_rows == 0:
         return out
 

@@ -1,0 +1,224 @@
+"""Named shared-memory arena: zero-copy NumPy arrays across processes.
+
+The process-parallel HOOI backend needs the big, read-mostly operands — the
+tensor's ``indices``/``values``, the per-mode symbolic structures, the factor
+matrices and the matricized ``Y_(n)`` output buffers — visible to every
+worker process *without* serialization.  :class:`ShmArena` owns a set of
+``multiprocessing.shared_memory`` segments, each backing exactly one ndarray,
+keyed by a logical name; :meth:`ShmArena.specs` is a picklable description a
+worker turns back into ndarray views with :class:`ShmView`.  Workers write
+row-disjoint slices of the output arrays, so the arena needs no locking.
+
+Lifecycle
+---------
+The creating process is the owner: it calls :meth:`ShmArena.close` (release
+this process's views, best effort) and :meth:`ShmArena.unlink` (destroy the
+segments).  Both are idempotent, and a ``weakref.finalize`` hook unlinks the
+segments even if the owner forgets or dies by exception, so a crashed run
+cannot leak ``/dev/shm`` entries.  ndarray views handed out earlier stay
+valid after ``unlink`` — POSIX keeps the pages alive until the last mapping
+goes away — which lets a HOOI result outlive its worker pool.
+
+Attach-side tracking
+--------------------
+``multiprocessing.resource_tracker`` assumes whoever opens a segment owns
+it; a worker that merely attaches would re-register the segment and emit
+"leaked shared_memory" warnings at exit (and, under ``spawn``, attempt a
+second unlink).  :func:`attach_segment` therefore detaches the tracker on
+attach — via ``track=False`` where available (Python >= 3.13), falling back
+to ``resource_tracker.unregister`` — leaving exactly one owner: the arena.
+"""
+
+from __future__ import annotations
+
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["ShmArraySpec", "ShmArena", "ShmView", "attach_segment"]
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Picklable description of one shared ndarray (the attach recipe)."""
+
+    key: str
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking tracker ownership."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    # Python < 3.13: SharedMemory registers with the resource tracker
+    # unconditionally.  Unregistering after the fact is wrong under ``fork``
+    # (the child shares the owner's tracker, so it would strip the owner's
+    # own registration) and merely noisy under ``spawn``; suppressing the
+    # registration during attach is exactly what ``track=False`` does.
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _teardown_segments(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+    """Unlink + close every segment (idempotent; tolerate live views)."""
+    for shm in list(segments.values()):
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        try:
+            shm.close()
+        except (BufferError, OSError):
+            # An ndarray view is still exported somewhere; the mapping stays
+            # alive until it is garbage collected, but the segment itself is
+            # already unlinked, so nothing leaks.
+            pass
+    segments.clear()
+
+
+class ShmArena:
+    """Owner of a set of named shared-memory segments mapped to ndarrays.
+
+    Segment names share a random per-arena ``token`` prefix so tests (and
+    humans) can spot this arena's entries in ``/dev/shm``.
+    """
+
+    def __init__(self, prefix: str = "rpshm") -> None:
+        self.token = f"{prefix}-{secrets.token_hex(4)}"
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._specs: Dict[str, ShmArraySpec] = {}
+        self._count = 0
+        # Crash-safe teardown: unlink at garbage collection / interpreter
+        # exit even when close()/unlink() were never called.
+        self._finalizer = weakref.finalize(self, _teardown_segments, self._segments)
+
+    # -- creation -------------------------------------------------------- #
+    def create(self, key: str, shape, dtype) -> np.ndarray:
+        """Allocate a new shared ndarray (contents unspecified)."""
+        if key in self._specs:
+            raise ValueError(f"arena already holds an array named {key!r}")
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = max(int(np.prod(shape, dtype=np.int64)) * dtype.itemsize, 1)
+        segment = f"{self.token}-{self._count}"
+        self._count += 1
+        shm = shared_memory.SharedMemory(create=True, name=segment, size=nbytes)
+        self._segments[key] = shm
+        self._specs[key] = ShmArraySpec(
+            key=key, segment=segment, shape=shape, dtype=dtype.str
+        )
+        array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        self._arrays[key] = array
+        return array
+
+    def put(self, key: str, array) -> np.ndarray:
+        """Copy ``array`` into a new shared segment and return the view."""
+        array = np.asarray(array)
+        out = self.create(key, array.shape, array.dtype)
+        out[...] = array
+        return out
+
+    def zeros(self, key: str, shape, dtype) -> np.ndarray:
+        """Allocate a new zero-filled shared ndarray."""
+        out = self.create(key, shape, dtype)
+        out[...] = 0
+        return out
+
+    # -- access ---------------------------------------------------------- #
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._arrays[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._specs
+
+    @property
+    def specs(self) -> Tuple[ShmArraySpec, ...]:
+        """Picklable attach recipe for every array in creation order."""
+        return tuple(self._specs.values())
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        """OS-level segment names (``/dev/shm`` entries on Linux)."""
+        return tuple(spec.segment for spec in self._specs.values())
+
+    def nbytes(self) -> int:
+        return sum(shm.size for shm in self._segments.values())
+
+    # -- lifecycle ------------------------------------------------------- #
+    def close(self) -> None:
+        """Release this process's views (best effort, idempotent).
+
+        Views that escaped to callers keep their mapping alive; that is
+        fine — :meth:`unlink` is what prevents leaks.
+        """
+        self._arrays.clear()
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except (BufferError, OSError):
+                pass
+
+    def unlink(self) -> None:
+        """Destroy the segments (idempotent; safe to call more than once)."""
+        self._arrays.clear()
+        self._finalizer()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShmArena(token={self.token!r}, arrays={len(self._specs)}, "
+            f"bytes={self.nbytes()})"
+        )
+
+
+class ShmView:
+    """Attach-side counterpart of :class:`ShmArena` (used by workers)."""
+
+    def __init__(self, specs: Iterable[ShmArraySpec]) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._arrays: Dict[str, np.ndarray] = {}
+        try:
+            for spec in specs:
+                shm = attach_segment(spec.segment)
+                self._segments[spec.key] = shm
+                self._arrays[spec.key] = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._arrays[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._arrays
+
+    def close(self) -> None:
+        """Detach the views (idempotent; never unlinks — not the owner)."""
+        self._arrays.clear()
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except (BufferError, OSError):
+                pass
+        self._segments.clear()

@@ -232,6 +232,39 @@ class TestWorkspacePool:
         plain = hooi(medium_tensor_3d, 5, options)
         assert pooled.fit_history == plain.fit_history
 
+    @pytest.mark.parametrize("strategy", ["per-mode", "dimtree"])
+    def test_shared_pool_across_different_sparsity_patterns(self, strategy):
+        """Regression for the touched-rows zeroing optimization.
+
+        Two tensors with the same shape but different non-empty rows reuse
+        the same pooled ``Y_(n)`` buffers; rows outside the second tensor's
+        ``J_n`` must read as zero, not as the first run's leftovers.
+        """
+        def tensor_with_rows(seed, row_lo, row_hi):
+            gen = np.random.default_rng(seed)
+            nnz = 600
+            idx = np.column_stack([
+                gen.integers(row_lo, row_hi, size=nnz),
+                gen.integers(0, 30, size=nnz),
+                gen.integers(0, 30, size=nnz),
+            ])
+            return SparseTensor(idx, gen.standard_normal(nnz), (40, 30, 30),
+                                sum_duplicates=True)
+
+        # First tensor touches mode-0 rows [0, 40); the second only [20, 40).
+        first = tensor_with_rows(1, 0, 40)
+        second = tensor_with_rows(2, 20, 40)
+        options = HOOIOptions(max_iterations=2, init="hosvd", seed=0,
+                              ttmc_strategy=strategy)
+        pool = WorkspacePool()
+        hooi(first, 4, options, workspace=pool)
+        shared = hooi(second, 4, options, workspace=pool)
+        fresh = hooi(second, 4, options)
+        assert shared.fit_history == fresh.fit_history
+        for a, b in zip(shared.decomposition.factors,
+                        fresh.decomposition.factors):
+            assert np.array_equal(a, b)
+
     def test_tags_separate_equal_shapes(self):
         pool = WorkspacePool()
         a = pool.take((4, 4), np.float64, tag="ttmc-out")

@@ -7,6 +7,7 @@ from repro.core import (
     CountingOperator,
     DenseOperator,
     LinearOperator,
+    gram_svd,
     lanczos_svd,
     randomized_svd,
     truncated_svd,
@@ -187,3 +188,75 @@ class TestDispatcher:
 
         with pytest.raises(TypeError):
             truncated_svd(Op(), 2, method="dense")
+
+
+class TestGramSVD:
+    """The W×W Gram path: eigh(YᵀY) + U = Y V Σ⁻¹ for tall-skinny operands."""
+
+    def test_matches_dense_svd_on_tall_matrix(self, rng):
+        a = spectrum_matrix(rng, m=500, n=12)
+        result = gram_svd(a, 4)
+        u, s, _ = np.linalg.svd(a, full_matrices=False)
+        assert np.allclose(result.singular_values, s[:4], rtol=1e-8)
+        assert np.allclose(
+            result.left @ result.left.T, u[:, :4] @ u[:, :4].T, atol=1e-7
+        )
+        # Left vectors are orthonormal and the right factor is returned.
+        assert np.allclose(result.left.T @ result.left, np.eye(4), atol=1e-10)
+        assert result.right.shape == (12, 4)
+
+    def test_reconstruction(self, rng):
+        a = spectrum_matrix(rng, m=200, n=8)
+        res = gram_svd(a, 8)
+        approx = (res.left * res.singular_values) @ res.right.T
+        assert np.allclose(approx, a, atol=1e-7)
+
+    def test_rank_deficient_stays_orthonormal(self, rng):
+        # Rank-2 matrix, rank-4 request: the squashed directions must be
+        # completed to an orthonormal basis instead of returning garbage.
+        a = np.outer(rng.standard_normal(60), rng.standard_normal(6))
+        a += np.outer(rng.standard_normal(60), rng.standard_normal(6))
+        res = gram_svd(a, 4)
+        assert np.allclose(res.left.T @ res.left, np.eye(4), atol=1e-8)
+        assert res.singular_values[2] < 1e-6 * res.singular_values[0]
+
+    def test_float32_operand_keeps_cheap_gemm(self, rng):
+        a = spectrum_matrix(rng, m=300, n=10).astype(np.float32)
+        res = gram_svd(a, 3)
+        u, s, _ = np.linalg.svd(np.asarray(a, dtype=np.float64),
+                                full_matrices=False)
+        assert np.allclose(res.singular_values, s[:3], rtol=1e-3)
+        assert np.allclose(
+            res.left @ res.left.T, u[:, :3] @ u[:, :3].T, atol=1e-3
+        )
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            gram_svd(rng.standard_normal((5, 3)), 0)
+        with pytest.raises(ValueError):
+            gram_svd(np.ones(4), 2)
+
+    def test_hooi_gram_option_close_to_lanczos(self, rng):
+        from repro.core import HOOIOptions, SparseTensor, hooi
+
+        idx = rng.integers(0, 25, size=(800, 3))
+        tensor = SparseTensor(idx, rng.standard_normal(800), (25, 25, 25),
+                              sum_duplicates=True)
+        lanczos = hooi(tensor, 4, HOOIOptions(
+            max_iterations=3, init="hosvd", seed=0, trsvd_method="lanczos"))
+        gram = hooi(tensor, 4, HOOIOptions(
+            max_iterations=3, init="hosvd", seed=0, trsvd_method="gram"))
+        assert abs(lanczos.fit - gram.fit) < 1e-6
+
+    def test_distributed_rejects_gram(self, rng):
+        from repro.core import HOOIOptions, SparseTensor
+        from repro.distributed import distributed_hooi
+        from repro.partition import make_partition
+
+        idx = rng.integers(0, 10, size=(100, 3))
+        tensor = SparseTensor(idx, rng.standard_normal(100), (10, 10, 10),
+                              sum_duplicates=True)
+        partition = make_partition(tensor, 2, "coarse-bl")
+        with pytest.raises(ValueError, match="lanczos"):
+            distributed_hooi(tensor, 3, partition,
+                             HOOIOptions(max_iterations=1, trsvd_method="gram"))
