@@ -29,6 +29,18 @@ from repro.util.timing import TimingBreakdown
 
 __all__ = ["HOOIOptions", "HOOIResult", "hooi", "hooi_iteration_stats"]
 
+#: Values each option axis accepts, anywhere.  Context-specific composition
+#: rules live in :meth:`HOOIOptions.validate`; the conformance matrix
+#: (``tests/test_conformance_matrix.py``) sweeps these axes.  Two values sit
+#: outside its full cross product: ``"process"`` (distributed rejection is in
+#: the matrix; single-node parity lives in ``tests/test_process_backend.py``,
+#: which spawns real worker pools) and ``"dense"`` (matrix asserts the
+#: distributed rejection; it is a small-problem debugging solver).
+TRSVD_METHODS = ("lanczos", "randomized", "gram", "dense")
+TTMC_STRATEGIES = ("per-mode", "dimtree")
+EXECUTIONS = ("sequential", "thread", "process")
+VALIDATION_CONTEXTS = ("single-node", "distributed")
+
 
 @dataclass
 class HOOIOptions:
@@ -53,7 +65,11 @@ class HOOIOptions:
     decomposition, limited wall-clock gain in CPython) or ``"process"``
     (worker processes with zero-copy shared memory — true multicore;
     ``num_workers`` sets the worker count for both).  Both compose with
-    either ``ttmc_strategy`` and with the dtype policy.
+    either ``ttmc_strategy`` and with the dtype policy.  On the distributed
+    driver every rank runs the options locally (hybrid MPI+threads ranks,
+    rank-local dimension trees); what composes per context is defined by
+    :meth:`validate` and specified executable-y by
+    ``tests/test_conformance_matrix.py``.
     """
 
     max_iterations: int = 5
@@ -68,6 +84,89 @@ class HOOIOptions:
     ttmc_strategy: str = "per-mode"
     execution: str = "sequential"
     num_workers: int = 1
+
+    def validate(self, context: str = "single-node") -> "HOOIOptions":
+        """Check the option values *and* their composition for a driver context.
+
+        This is the single source of truth for what composes: the drivers
+        (:func:`hooi`, :func:`repro.parallel.shared_hooi.shared_hooi`,
+        :func:`repro.distributed.dist_hooi.distributed_hooi`), the backend
+        resolver (:func:`repro.engine.dimtree.resolve_ttmc_backend`) and the
+        conformance-matrix test suite all call it instead of keeping their
+        own scattered guards.
+
+        ``context`` is ``"single-node"`` (the sequential / threaded / process
+        drivers — every axis value composes with every other) or
+        ``"distributed"`` (the simulated-MPI driver, where each rank runs the
+        options *locally*).  The distributed composition rules:
+
+        * ``trsvd_method`` must be ``"lanczos"`` — the only TRSVD with a
+          distributed (fold/scatter + allreduce) implementation
+          (Section III-B of the paper);
+        * ``execution`` may be ``"sequential"`` or ``"thread"`` (the paper's
+          hybrid MPI+threads ranks) but not ``"process"`` — every simulated
+          rank would spawn its own worker-process pool and oversubscribe the
+          node;
+        * both ``ttmc_strategy`` values compose (each rank builds its own
+          per-mode symbolic data or rank-local dimension tree).
+
+        Returns ``self`` so drivers can validate inline; raises
+        :class:`ValueError` with an actionable message otherwise.
+        """
+        if context not in VALIDATION_CONTEXTS:
+            raise ValueError(
+                f"unknown validation context {context!r}: expected one of "
+                f"{VALIDATION_CONTEXTS}"
+            )
+        if self.trsvd_method not in TRSVD_METHODS:
+            raise ValueError(
+                f"unknown trsvd_method {self.trsvd_method!r}: expected one of "
+                f"{TRSVD_METHODS}"
+            )
+        strategy = self.ttmc_strategy or "per-mode"
+        if strategy not in TTMC_STRATEGIES:
+            raise ValueError(
+                f"unknown ttmc_strategy {strategy!r}: expected 'per-mode' or "
+                "'dimtree'"
+            )
+        execution = self.execution or "sequential"
+        if execution not in EXECUTIONS:
+            raise ValueError(
+                f"unknown execution {execution!r}: expected 'sequential', "
+                "'thread' or 'process'"
+            )
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}: the engine's precision policy "
+                "supports 'float32' and 'float64'"
+            )
+        if int(self.num_workers) < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if int(self.max_iterations) < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+
+        if context == "distributed":
+            if self.trsvd_method != "lanczos":
+                raise ValueError(
+                    "the distributed driver supports only "
+                    f"trsvd_method='lanczos', got {self.trsvd_method!r}: the "
+                    "gram/randomized/dense solvers have no distributed "
+                    "(fold/scatter) implementation — run them on the "
+                    "single-node drivers instead"
+                )
+            if execution == "process":
+                raise ValueError(
+                    "the distributed driver rejects execution='process': "
+                    "every simulated MPI rank would spawn its own "
+                    "worker-process pool and oversubscribe the node; use "
+                    "execution='thread' for hybrid rank×thread runs, or the "
+                    "single-node drivers for process execution"
+                )
+        return self
 
 
 @dataclass
@@ -88,7 +187,20 @@ class HOOIResult:
 
     @property
     def fit(self) -> float:
-        return self.fit_history[-1] if self.fit_history else float("nan")
+        """Final fit ``1 - ||X - X̂|| / ||X||``.
+
+        Raises :class:`ValueError` when ``fit_history`` is empty — that only
+        happens on a result assembled from a run that died mid-iteration, and
+        silently returning NaN used to let such failures propagate into
+        reports unnoticed.
+        """
+        if not self.fit_history:
+            raise ValueError(
+                "fit_history is empty: the run did not complete an iteration "
+                "(a completed run always records at least the final fit, even "
+                "with track_fit=False)"
+            )
+        return self.fit_history[-1]
 
 
 def hooi(
@@ -120,7 +232,7 @@ def hooi(
     from repro.engine.dimtree import resolve_ttmc_backend
     from repro.engine.driver import HOOIEngine
 
-    options = options or HOOIOptions()
+    options = (options or HOOIOptions()).validate(context="single-node")
     engine = HOOIEngine(
         tensor,
         ranks,

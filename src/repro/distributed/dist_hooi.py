@@ -22,12 +22,28 @@ per-rank work / communication / simulated-time statistics that the paper's
 Tables II-IV report.  The driver :func:`distributed_hooi` builds the plans,
 runs the SPMD program on the simulated MPI world, checks that all ranks
 agree, and packages the results.
+
+**Hybrid ranks** (the paper's headline configuration, Table V on top of
+Algorithm 4): each rank's local TTMc phase runs through the same
+rank-scoped backend composition the single-node drivers use
+(:func:`repro.engine.dimtree.resolve_ttmc_backend`), so
+``HOOIOptions(execution="thread", num_workers=T)`` nests a ``T``-thread
+worker team inside every simulated rank (the row-disjoint lock-free
+decomposition of :mod:`repro.parallel.shared_ttmc` over the rank's update
+lists) and ``ttmc_strategy="dimtree"`` builds a rank-local dimension tree
+over the rank's nonzeros whose leaves serve only the rank's owned/local rows
+(:meth:`~repro.engine.dimtree.DimensionTree.leaf_matricized` with
+``local_rows``).  Execution strategy changes local compute only: results
+match the sequential-rank run to 1e-10 and the communication statistics are
+byte-identical.  ``execution="process"`` is rejected — one worker-process
+pool per simulated rank would oversubscribe the node
+(:meth:`~repro.core.hooi.HOOIOptions.validate`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,7 +60,6 @@ from repro.distributed.factor_exchange import exchange_factor_rows
 from repro.distributed.plan import GlobalPlan, RankPlan, build_plans
 from repro.engine.backend import ExecutionBackend
 from repro.engine.driver import HOOIEngine
-from repro.parallel.shared_ttmc import ttmc_row_block
 from repro.parallel.work import core_phase_work, ttmc_phase_work
 from repro.partition.strategies import TensorPartition
 from repro.simmpi.communicator import Communicator
@@ -59,44 +74,6 @@ __all__ = [
     "distributed_hooi",
     "hooi_rank_program",
 ]
-
-
-def _check_trsvd_method(options: HOOIOptions) -> None:
-    """Only the Lanczos TRSVD has a distributed implementation (Section III-B)."""
-    if options.trsvd_method != "lanczos":
-        raise ValueError(
-            "the distributed driver supports only trsvd_method='lanczos', "
-            f"got {options.trsvd_method!r}"
-        )
-
-
-def _check_ttmc_strategy(options: HOOIOptions) -> None:
-    """The dimension-tree TTMc has no distributed implementation (yet).
-
-    Fail fast instead of silently running per-mode, so benchmarks comparing
-    strategies cannot draw conclusions from the wrong kernel.
-    """
-    strategy = getattr(options, "ttmc_strategy", "per-mode") or "per-mode"
-    if strategy != "per-mode":
-        raise ValueError(
-            "the distributed driver supports only ttmc_strategy='per-mode', "
-            f"got {strategy!r}"
-        )
-
-
-def _check_execution(options: HOOIOptions) -> None:
-    """The SPMD rank program is its own execution model.
-
-    Thread/process execution backends are single-node concepts; combining
-    them with the simulated MPI world would double-count parallelism, so
-    anything but the default fails fast (mirrors the trsvd/ttmc precedent).
-    """
-    execution = getattr(options, "execution", "sequential") or "sequential"
-    if execution != "sequential":
-        raise ValueError(
-            "the distributed driver supports only execution='sequential', "
-            f"got {execution!r}"
-        )
 
 
 @dataclass
@@ -116,6 +93,7 @@ class RankRunResult:
     trsvd_iterations: List[int]               # restart counts observed
     iterations: int = 0                       # iterations executed by the engine
     converged: bool = False                   # engine convergence decision
+    comm_stats: Optional[Dict[str, int]] = None   # CommStats.snapshot() per rank
 
 
 @dataclass
@@ -134,7 +112,14 @@ class DistributedHOOIResult:
 
     @property
     def fit(self) -> float:
-        return self.fit_history[-1] if self.fit_history else float("nan")
+        """Final fit; raises on an empty history (see ``HOOIResult.fit``)."""
+        if not self.fit_history:
+            raise ValueError(
+                "fit_history is empty: the distributed run did not complete "
+                "an iteration (a completed run always records at least the "
+                "final fit, even with track_fit=False)"
+            )
+        return self.fit_history[-1]
 
     def comm_volume_elements(self) -> np.ndarray:
         """Per-rank total communication volume in doubles (all iterations)."""
@@ -161,6 +146,15 @@ class DistributedBackend(ExecutionBackend):
     schedules, the backend advances the rank's simulated clock through the
     machine model and accumulates the per-phase / per-mode statistics the
     experiment tables report.
+
+    The local TTMc phase is delegated to a *rank-scoped* single-node backend
+    (``resolve_ttmc_backend(options)`` over the rank's local tensor), so
+    ``execution="thread"`` and ``ttmc_strategy="dimtree"`` compose with both
+    task grains exactly as on the single-node drivers — the paper's hybrid
+    MPI+threads configuration.  With ``execution="thread"`` the simulated
+    clock charges compute phases at ``num_workers`` threads through the node
+    roofline model (Table V's per-thread model) instead of the machine's
+    default ``threads_per_rank``.
     """
 
     name = "distributed"
@@ -182,6 +176,8 @@ class DistributedBackend(ExecutionBackend):
         self.phase_sim: Dict[str, float] = {"ttmc": 0.0, "trsvd": 0.0, "core": 0.0}
         self.per_mode_comm: List[int] = [0] * plan.order
         self.trsvd_iteration_counts: List[int] = []
+        self.local_backend: Optional[ExecutionBackend] = None
+        self._model_threads: Optional[int] = None
         self._block_rows: Optional[np.ndarray] = None
         self._mode_comm_before = 0
         self._iter_clock_start = 0.0
@@ -194,22 +190,40 @@ class DistributedBackend(ExecutionBackend):
         return [np.array(f, copy=True) for f in self._initial_factors]
 
     def prepare(self, eng) -> None:
+        from repro.engine.dimtree import resolve_ttmc_backend
+
         # Fail fast when the backend is driven directly (the driver already
         # checks before launching the SPMD world).
-        _check_trsvd_method(eng.options)
-        _check_ttmc_strategy(eng.options)
-        _check_execution(eng.options)
-        # Positions of the compute rows inside the local symbolic row lists
-        # (fine grain: every local row; coarse grain: the owned slices).
-        self.compute_positions: List[np.ndarray] = []
+        eng.options.validate(context="distributed")
+        execution = eng.options.execution or "sequential"
+        # Thread-level work items feed the Table V per-thread roofline: a
+        # hybrid rank charges its compute phases at its own thread count.
+        self._model_threads = (
+            int(eng.options.num_workers) if execution == "thread" else None
+        )
+        # Rank-scoped backend: the same composition the single-node drivers
+        # resolve, built over the rank's local tensor (``eng.tensor`` *is*
+        # ``plan.local_tensor``) — per-mode symbolic data or a rank-local
+        # dimension tree, sequential or nested worker threads.
+        self.local_backend = resolve_ttmc_backend(eng.options)
+        strategy = eng.options.ttmc_strategy or "per-mode"
+        if strategy == "per-mode":
+            # The plan already built this rank's symbolic TTMc data
+            # (index-only, so the dtype cast is irrelevant); seed the
+            # backend instead of redoing the per-mode argsorts.
+            self.local_backend.symbolic = self.plan.symbolic
+        else:
+            self.local_backend.prepare(eng)
+        # Rows each mode's local TTMc produces (line 4 vs 6 of Algorithm 4):
+        # fine grain the local ``J_n``, coarse grain the owned slices — in
+        # both cases intersected with the local ``J_n``, since a row without
+        # local nonzeros contributes nothing.
+        self.compute_block_rows: List[np.ndarray] = []
         for mode in range(eng.order):
             sym_rows = self.plan.symbolic[mode].rows
             targets = self.plan.modes[mode].compute_rows
-            if targets.size and sym_rows.size:
-                pos = np.flatnonzero(np.isin(sym_rows, targets))
-            else:
-                pos = np.empty(0, dtype=np.int64)
-            self.compute_positions.append(pos.astype(np.int64))
+            rows = np.intersect1d(sym_rows, targets, assume_unique=True)
+            self.compute_block_rows.append(rows.astype(np.int64))
 
     # -- hooks: clocks and communication counters ------------------------ #
     def on_iteration_start(self, eng, iteration: int) -> None:
@@ -228,23 +242,22 @@ class DistributedBackend(ExecutionBackend):
 
     # -- the three heavy steps ------------------------------------------- #
     def compute_ttmc(self, eng, mode: int) -> np.ndarray:
-        """Local numeric TTMc over the rank's update lists (lines 9-12)."""
+        """Local numeric TTMc over the rank's update lists (lines 9-12).
+
+        Delegated to the rank-scoped backend's compact row-block seam, so
+        the thread / dimension-tree compositions reuse the single-node
+        kernels unchanged.
+        """
         clock_before = self.comm.clock.now
-        positions = self.compute_positions[mode]
-        block = ttmc_row_block(
-            eng.tensor,
-            eng.factors,
-            mode,
-            self.plan.symbolic[mode],
-            positions,
-            block_nnz=eng.options.block_nnz,
-        )
-        self._block_rows = self.plan.symbolic[mode].rows[positions]
+        rows = self.compute_block_rows[mode]
+        block = self.local_backend.compute_ttmc_rows(eng, mode, rows)
+        self._block_rows = rows
         self.comm.advance_compute(
             self.comm.machine.compute_time(
                 ttmc_phase_work(
                     self.plan.ttmc_nonzeros[mode], eng.order, eng.ranks, mode
-                )
+                ),
+                threads=self._model_threads,
             ),
             category="ttmc",
         )
@@ -255,7 +268,13 @@ class DistributedBackend(ExecutionBackend):
         """Distributed TRSVD (line 13) + factor-row exchange (line 14)."""
         clock_before = self.comm.clock.now
         mode_plan = self.plan.modes[mode]
-        op = DistributedTTMcMatrix(self.comm, mode_plan, self._block_rows, block)
+        op = DistributedTTMcMatrix(
+            self.comm,
+            mode_plan,
+            self._block_rows,
+            block,
+            model_threads=self._model_threads,
+        )
         trsvd = distributed_lanczos_svd(
             op,
             eng.ranks[mode],
@@ -273,6 +292,9 @@ class DistributedBackend(ExecutionBackend):
         got = trsvd.left_owned.shape[1]
         new_factor[mode_plan.owned_nonempty_rows, :got] = trsvd.left_owned
         exchange_factor_rows(self.comm, mode_plan.factor_exchange, new_factor)
+        # The rank-local TTMc backend never sees this factor refresh; tell it
+        # so cached state (the dimension tree's partial chains) invalidates.
+        self.local_backend.notify_factor_updated(eng, mode)
         self.phase_sim["trsvd"] += self.comm.clock.now - clock_before
         return new_factor, None
 
@@ -289,7 +311,8 @@ class DistributedBackend(ExecutionBackend):
             self.comm.machine.compute_time(
                 core_phase_work(
                     int(last_rows.size) if last_rows is not None else 0, eng.ranks
-                )
+                ),
+                threads=self._model_threads,
             ),
             category="core",
         )
@@ -298,6 +321,10 @@ class DistributedBackend(ExecutionBackend):
         self.phase_sim["core"] += self.comm.clock.now - clock_before
         return core
 
+    def finalize(self, eng) -> None:
+        if self.local_backend is not None:
+            self.local_backend.finalize(eng)
+
 
 def hooi_rank_program(
     comm: Communicator,
@@ -305,14 +332,20 @@ def hooi_rank_program(
     global_plan: GlobalPlan,
     initial_factors: List[np.ndarray],
     options: HOOIOptions,
+    callback: Optional[Callable[[int, float], None]] = None,
 ) -> RankRunResult:
-    """The SPMD body executed by every simulated rank (Algorithm 4)."""
+    """The SPMD body executed by every simulated rank (Algorithm 4).
+
+    ``callback(iteration, fit)`` fires on rank 0 only (every rank computes
+    the identical fit, so one invocation per tracked iteration mirrors the
+    single-node drivers).
+    """
     plan = plans[comm.rank]
     backend = DistributedBackend(comm, plan, global_plan, initial_factors)
     engine = HOOIEngine(
         plan.local_tensor, plan.ranks_requested, options, backend=backend
     )
-    result = engine.run()
+    result = engine.run(callback=callback if comm.rank == 0 else None)
 
     owned_factor_rows = [
         (plan.modes[mode].owned_nonempty_rows,
@@ -333,6 +366,10 @@ def hooi_rank_program(
         trsvd_iterations=backend.trsvd_iteration_counts,
         iterations=result.iterations,
         converged=result.converged,
+        # Full per-rank communication counters (bytes, message counts,
+        # collective traffic): execution strategy only changes local
+        # compute, so these must be byte-identical across hybrid configs.
+        comm_stats=comm.stats.snapshot(),
     )
 
 
@@ -343,12 +380,21 @@ def distributed_hooi(
     options: Optional[HOOIOptions] = None,
     *,
     machine: MachineModel = BGQ_MACHINE,
+    callback: Optional[Callable[[int, float], None]] = None,
 ) -> DistributedHOOIResult:
-    """Run Algorithm 4 on the simulated MPI world and assemble the results."""
-    options = options or HOOIOptions()
-    _check_trsvd_method(options)
-    _check_ttmc_strategy(options)
-    _check_execution(options)
+    """Run Algorithm 4 on the simulated MPI world and assemble the results.
+
+    Option composition is checked by
+    :meth:`~repro.core.hooi.HOOIOptions.validate` with the ``"distributed"``
+    context: ``execution`` may be ``"sequential"`` or ``"thread"`` (hybrid
+    ranks), ``ttmc_strategy`` may be ``"per-mode"`` or ``"dimtree"``
+    (rank-local trees), ``trsvd_method`` must be ``"lanczos"``.
+    ``callback(iteration, fit)`` is invoked once per tracked iteration
+    (on rank 0), exactly as in the single-node drivers; with
+    ``track_fit=False`` it never fires but the result's single final fit is
+    still recorded.
+    """
+    options = (options or HOOIOptions()).validate(context="distributed")
     ranks = check_rank_vector(ranks, tensor.shape)
     global_plan, plans = build_plans(tensor, partition, ranks)
     initial_factors = initialize_factors(
@@ -362,6 +408,7 @@ def distributed_hooi(
         global_plan,
         initial_factors,
         options,
+        callback,
         machine=machine,
     )
     rank_results: List[RankRunResult] = spmd.values

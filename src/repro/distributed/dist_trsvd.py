@@ -60,6 +60,10 @@ class DistributedTTMcMatrix:
     charge_time:
         When true (default), local multiplies advance the rank's simulated
         clock through the machine model.
+    model_threads:
+        Thread count the machine model charges the local multiplies at
+        (the hybrid rank's nested team size); ``None`` uses the machine's
+        default ``threads_per_rank``.
     """
 
     def __init__(
@@ -70,6 +74,7 @@ class DistributedTTMcMatrix:
         local_block: np.ndarray,
         *,
         charge_time: bool = True,
+        model_threads: Optional[int] = None,
     ) -> None:
         self.comm = comm
         self.plan = mode_plan
@@ -82,6 +87,7 @@ class DistributedTTMcMatrix:
         self.ncols = int(self.local_block.shape[1])
         self.owned_rows = mode_plan.owned_nonempty_rows
         self.charge_time = charge_time
+        self.model_threads = model_threads
 
         # Position of each block row within the owned segment (or -1).
         owned_pos = {int(r): i for i, r in enumerate(self.owned_rows)}
@@ -124,7 +130,8 @@ class DistributedTTMcMatrix:
 
         self.comm.advance_compute(
             self.comm.machine.compute_time(
-                PhaseWork(flops=flops, streamed_bytes=streamed)
+                PhaseWork(flops=flops, streamed_bytes=streamed),
+                threads=self.model_threads,
             ),
             category="trsvd",
         )

@@ -54,6 +54,7 @@ __all__ = [
     "ProcessBackend",
     "trsvd_kwargs",
     "parallel_symbolic",
+    "symbolic_row_positions",
 ]
 
 
@@ -69,6 +70,31 @@ def trsvd_kwargs(options) -> dict:
     if options.trsvd_method == "randomized":
         return {"seed": options.seed}
     return {}
+
+
+def symbolic_row_positions(symbolic: ModeSymbolic, rows: np.ndarray) -> np.ndarray:
+    """Positions of global row indices inside a mode's sorted ``J_n``.
+
+    ``rows`` must be sorted and every entry must be a non-empty row of the
+    mode (the distributed plans guarantee it by intersecting with ``J_n``);
+    a row outside ``J_n`` raises instead of silently mapping to a neighbour.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return np.empty(0, dtype=np.int64)
+    positions = np.searchsorted(symbolic.rows, rows).astype(np.int64, copy=False)
+    if symbolic.num_rows:
+        clipped = np.minimum(positions, symbolic.num_rows - 1)
+        valid = (positions < symbolic.num_rows) & (symbolic.rows[clipped] == rows)
+    else:
+        valid = np.zeros(rows.shape[0], dtype=bool)
+    if not valid.all():
+        missing = rows[~valid]
+        raise ValueError(
+            f"rows {missing[:5].tolist()} are not non-empty rows of mode "
+            f"{symbolic.mode} (|J_n| = {symbolic.num_rows})"
+        )
+    return positions
 
 
 def parallel_symbolic(tensor: SparseTensor, num_threads: int) -> Dict[int, ModeSymbolic]:
@@ -156,6 +182,29 @@ class ExecutionBackend:
             zero="touched",
         )
 
+    def compute_ttmc_rows(self, eng, mode: int, rows: np.ndarray) -> np.ndarray:
+        """Compact TTMc block: ``Y_(mode)`` restricted to the given rows.
+
+        ``rows`` is a sorted array of global mode-``mode`` indices, each a
+        non-empty row of the engine's tensor (``rows ⊆ J_mode``); the result
+        has shape ``(len(rows), ∏_{t≠mode} R_t)`` with row ``p`` holding
+        ``Y_(mode)(rows[p], :)``.  This is the rank-scoped seam the
+        distributed driver composes with: each simulated MPI rank computes
+        only its owned/local rows through whatever execution model and TTMc
+        strategy the options select, reusing this backend over the rank's
+        local tensor.
+        """
+        from repro.parallel.shared_ttmc import ttmc_row_block
+
+        return ttmc_row_block(
+            eng.tensor,
+            eng.factors,
+            mode,
+            self.symbolic[mode],
+            symbolic_row_positions(self.symbolic[mode], rows),
+            block_nnz=eng.options.block_nnz,
+        )
+
     def update_factor(
         self, eng, mode: int, y_mat: np.ndarray
     ) -> Tuple[np.ndarray, Optional[TRSVDResult]]:
@@ -167,6 +216,16 @@ class ExecutionBackend:
             **trsvd_kwargs(eng.options),
         )
         return np.asarray(result.left, dtype=eng.dtype), result
+
+    def notify_factor_updated(self, eng, mode: int) -> None:
+        """A factor was replaced *outside* :meth:`update_factor`.
+
+        Backends caching state derived from the factors (the dimension
+        tree's memoized partial chains) invalidate it here.  The distributed
+        per-rank backend calls this after its distributed TRSVD + factor-row
+        exchange replaced ``U_mode``, since the rank-local TTMc backend never
+        sees that update otherwise.
+        """
 
     def form_core(self, eng, last_ttmc: np.ndarray) -> np.ndarray:
         """Fold the last mode's TTMc into the core tensor (one small GEMM)."""
@@ -229,6 +288,19 @@ class ThreadedBackend(ExecutionBackend):
             # Every J_n row is assigned and _pooled_out keeps the rest zero,
             # so no zeroing pass is needed at all.
             zero="none",
+        )
+
+    def compute_ttmc_rows(self, eng, mode: int, rows: np.ndarray) -> np.ndarray:
+        from repro.parallel.shared_ttmc import parallel_ttmc_row_block
+
+        return parallel_ttmc_row_block(
+            eng.tensor,
+            eng.factors,
+            mode,
+            self.symbolic[mode],
+            symbolic_row_positions(self.symbolic[mode], rows),
+            config=self.config,
+            block_nnz=eng.options.block_nnz,
         )
 
 

@@ -44,6 +44,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.hooi import HOOIOptions
 from repro.core.kron import kron_dtype, kron_row_length
 from repro.core.sparse_tensor import SparseTensor
 from repro.core.subset_ttmc import (
@@ -231,6 +232,7 @@ class DimensionTree:
         parallel_config=None,
         edge_executor=None,
         zero: str = "full",
+        local_rows: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Serve ``Y_(mode)`` from the tree, refreshing stale path nodes.
 
@@ -247,6 +249,15 @@ class DimensionTree:
         cleared (``"full"``/``"touched"``/``"none"``); the leaf rows are
         *assigned*, so ``"none"`` is sufficient when the caller keeps the
         empty rows zero (the engine's per-mode pooled buffers do).
+
+        ``local_rows`` is the distributed driver's hook: a sorted array of
+        global mode-``mode`` indices restricting the result to a compact
+        ``(len(local_rows), ∏R_t)`` block whose row ``p`` holds
+        ``Y_(mode)(local_rows[p], :)`` — only the rows a simulated MPI rank
+        owns (coarse grain) or touches (fine grain).  Rows outside the
+        tree's leaf fibers come back zero (a row with no local nonzeros
+        contributes nothing), every output row is assigned exactly once, and
+        ``zero`` is ignored.
         """
         mode = check_axis(mode, self.order)
         if zero not in ("full", "touched", "none"):
@@ -285,6 +296,8 @@ class DimensionTree:
         width = kron_row_length(
             [ranks[t] for t in range(self.order) if t != mode]
         )
+        if local_rows is not None:
+            return self._leaf_local_block(leaf, local_rows, width, dtype, out)
         if out is None:
             out = np.zeros((self.shape[mode], width), dtype=dtype)
         else:
@@ -299,6 +312,40 @@ class DimensionTree:
             # leaf's fiber rows, which the assignment below overwrites anyway.
         if leaf.num_fibers:
             out[leaf.index_cols[:, 0]] = leaf.payload
+        return out
+
+    def _leaf_local_block(
+        self,
+        leaf: DimTreeNode,
+        local_rows: np.ndarray,
+        width: int,
+        dtype,
+        out: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Gather a fresh leaf's payload rows for a sorted set of global rows."""
+        local_rows = np.asarray(local_rows, dtype=np.int64)
+        shape = (local_rows.shape[0], width)
+        if out is None:
+            out = np.empty(shape, dtype=dtype)
+        elif out.shape != shape or out.dtype != dtype:
+            raise ValueError(
+                f"out has shape {out.shape} / dtype {out.dtype}, expected "
+                f"{shape} / {dtype}"
+            )
+        if local_rows.shape[0] == 0:
+            return out
+        # The leaf's fibers are its distinct mode indices in ascending order
+        # (group_fibers sorts), so membership is one searchsorted.
+        leaf_rows = leaf.index_cols[:, 0]
+        if leaf.num_fibers:
+            pos = np.searchsorted(leaf_rows, local_rows)
+            clipped = np.minimum(pos, leaf.num_fibers - 1)
+            present = leaf_rows[clipped] == local_rows
+            out[present] = leaf.payload[pos[present]]
+            if not present.all():
+                out[~present] = 0
+        else:
+            out[:] = 0
         return out
 
     def _ensure_fresh(
@@ -412,6 +459,10 @@ class DimTreeBackend(SequentialBackend):
     def prepare(self, eng) -> None:
         self.tree = DimensionTree(eng.tensor)
 
+    def _edge_parallel_config(self):
+        """Thread configuration for stale-edge refinements (None = inline)."""
+        return None
+
     def compute_ttmc(self, eng, mode: int) -> np.ndarray:
         return self.tree.leaf_matricized(
             mode,
@@ -425,11 +476,26 @@ class DimTreeBackend(SequentialBackend):
             zero="none",
         )
 
+    def compute_ttmc_rows(self, eng, mode: int, rows: np.ndarray) -> np.ndarray:
+        """Serve a compact row block from the rank-local dimension tree."""
+        return self.tree.leaf_matricized(
+            mode,
+            eng.factors,
+            dtype=eng.dtype,
+            workspace=eng.workspace,
+            block_nnz=eng.options.block_nnz,
+            parallel_config=self._edge_parallel_config(),
+            local_rows=np.asarray(rows, dtype=np.int64),
+        )
+
     def update_factor(self, eng, mode: int, y_mat: np.ndarray):
         new_factor, stats = super().update_factor(eng, mode, y_mat)
+        self.notify_factor_updated(eng, mode)
+        return new_factor, stats
+
+    def notify_factor_updated(self, eng, mode: int) -> None:
         if self.tree is not None:
             self.tree.invalidate_factor(mode)
-        return new_factor, stats
 
 
 class ThreadedDimTreeBackend(DimTreeBackend):
@@ -449,6 +515,9 @@ class ThreadedDimTreeBackend(DimTreeBackend):
 
         super().__init__()
         self.config = config or ParallelConfig()
+
+    def _edge_parallel_config(self):
+        return self.config
 
     def compute_ttmc(self, eng, mode: int) -> np.ndarray:
         return self.tree.leaf_matricized(
@@ -540,20 +609,15 @@ def resolve_ttmc_backend(options, config=None):
     without it, ``options.execution`` decides: ``"sequential"`` (default),
     ``"thread"`` (``options.num_workers`` threads) or ``"process"``
     (``options.num_workers`` worker processes with zero-copy shared memory).
-    Both axes compose with either ``ttmc_strategy``.
+    Both axes compose with either ``ttmc_strategy``.  Option values are
+    checked by :meth:`~repro.core.hooi.HOOIOptions.validate` (single-node
+    context — the distributed driver applies its stricter composition rules
+    before resolving its rank-local backends).
     """
-    strategy = getattr(options, "ttmc_strategy", "per-mode") or "per-mode"
-    if strategy not in ("per-mode", "dimtree"):
-        raise ValueError(
-            f"unknown ttmc_strategy {strategy!r}: expected 'per-mode' or 'dimtree'"
-        )
-    execution = getattr(options, "execution", "sequential") or "sequential"
-    if execution not in ("sequential", "thread", "process"):
-        raise ValueError(
-            f"unknown execution {execution!r}: expected 'sequential', "
-            "'thread' or 'process'"
-        )
-    num_workers = int(getattr(options, "num_workers", 1) or 1)
+    options.validate()
+    strategy = options.ttmc_strategy or "per-mode"
+    execution = options.execution or "sequential"
+    num_workers = int(options.num_workers or 1)
     if execution == "process":
         from repro.parallel.process_pool import ProcessConfig
 

@@ -19,7 +19,12 @@ from repro.experiments.table1 import render_table1, run_table1
 from repro.experiments.table2 import render_table2, run_table2
 from repro.experiments.table3 import render_table3, run_table3
 from repro.experiments.table4 import render_table4, run_table4
-from repro.experiments.table5 import render_table5, run_table5
+from repro.experiments.table5 import (
+    render_table5,
+    render_table5_hybrid,
+    run_table5,
+    run_table5_hybrid,
+)
 from repro.experiments.met_compare import (
     MetComparison,
     render_met_comparison,
@@ -48,6 +53,8 @@ __all__ = [
     "run_table4",
     "render_table5",
     "run_table5",
+    "render_table5_hybrid",
+    "run_table5_hybrid",
     "MetComparison",
     "render_met_comparison",
     "run_met_comparison",

@@ -15,20 +15,37 @@ The reproduction reports two curves per dataset:
   HOOI on the analog (Python threads; the absolute speedups are limited by the
   GIL for the non-BLAS parts, so these are reported for completeness, not as
   the headline numbers).
+
+The paper's headline Table V configuration is *hybrid*: MPI ranks each
+running a multithreaded TTMc.  :func:`run_table5_hybrid` runs that for real —
+the simulated-MPI distributed driver with ``execution="thread"`` ranks — and
+reports the machine-model iteration time per (ranks × threads) point, so the
+thread-scaling shape comes out of the actual SPMD program (communication
+included) instead of the analytic single-node model alone.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.hooi import HOOIOptions
-from repro.experiments.calibration import DEFAULT_THREAD_COUNTS, scaled_node
+from repro.distributed.dist_hooi import distributed_hooi
+from repro.experiments.calibration import (
+    DEFAULT_THREAD_COUNTS,
+    scaled_machine,
+    scaled_node,
+)
 from repro.experiments.harness import DATASET_ORDER, ExperimentContext, format_table
 from repro.parallel.model import NodeModel
 from repro.parallel.parallel_for import ParallelConfig
 from repro.parallel.shared_hooi import predict_iteration_time, shared_hooi
 
-__all__ = ["run_table5", "render_table5"]
+__all__ = [
+    "run_table5",
+    "render_table5",
+    "run_table5_hybrid",
+    "render_table5_hybrid",
+]
 
 
 def run_table5(
@@ -69,6 +86,81 @@ def run_table5(
                 measured[threads] = report.measured_seconds_per_iteration
         result[dataset] = {"modelled": modelled, "measured": measured}
     return result
+
+
+def run_table5_hybrid(
+    context: Optional[ExperimentContext] = None,
+    *,
+    datasets: Sequence[str] = ("netflix", "nell"),
+    strategy: str = "fine-hp",
+    rank_counts: Sequence[int] = (2, 4),
+    thread_counts: Sequence[int] = (1, 4, 16),
+    ttmc_strategy: str = "per-mode",
+    iterations: int = 2,
+    seed: int = 0,
+    machine=None,
+) -> Dict[str, Dict[Tuple[int, int], Dict[str, float]]]:
+    """Hybrid (MPI ranks × threads per rank) Table V points, run for real.
+
+    Every (``P`` ranks, ``T`` threads) point executes the distributed HOOI
+    with ``HOOIOptions(execution="thread", num_workers=T)`` — each simulated
+    rank runs the row-disjoint threaded TTMc over its own update lists, and
+    the machine model charges the rank's compute phases at ``T`` threads.
+    Returns ``result[dataset][(P, T)]`` with the simulated seconds per
+    iteration (the Table V quantity), the measured wall seconds, and the
+    final fit (identical across ``T`` by construction — execution strategy
+    only changes local compute).
+    """
+    context = context or ExperimentContext()
+    if machine is None:
+        machine = scaled_machine(context.scale)
+    result: Dict[str, Dict[Tuple[int, int], Dict[str, float]]] = {}
+    for dataset in datasets:
+        tensor = context.tensor(dataset)
+        ranks = context.ranks(dataset)
+        points: Dict[Tuple[int, int], Dict[str, float]] = {}
+        for num_ranks in rank_counts:
+            partition = context.partition(dataset, strategy, num_ranks)
+            for threads in thread_counts:
+                run = distributed_hooi(
+                    tensor,
+                    ranks,
+                    partition,
+                    HOOIOptions(
+                        max_iterations=iterations,
+                        init="random",
+                        seed=seed,
+                        execution="thread",
+                        num_workers=threads,
+                        ttmc_strategy=ttmc_strategy,
+                    ),
+                    machine=machine,
+                )
+                points[(num_ranks, threads)] = {
+                    "simulated": run.simulated_time_per_iteration,
+                    "measured": run.wall_time_per_iteration,
+                    "fit": run.fit,
+                }
+        result[dataset] = points
+    return result
+
+
+def render_table5_hybrid(
+    result: Dict[str, Dict[Tuple[int, int], Dict[str, float]]],
+) -> str:
+    datasets = list(result.keys())
+    points = sorted(next(iter(result.values())).keys())
+    headers = ["ranks x threads"] + [d.capitalize() for d in datasets]
+    rows = []
+    for num_ranks, threads in points:
+        rows.append(
+            [f"{num_ranks} x {threads}"]
+            + [result[d][(num_ranks, threads)]["simulated"] for d in datasets]
+        )
+    return format_table(
+        headers, rows,
+        title="Table V (hybrid, simulated): seconds per HOOI iteration",
+    )
 
 
 def render_table5(result: Dict[str, Dict[str, Dict[int, float]]]) -> str:

@@ -8,6 +8,13 @@ can therefore be distributed over worker threads exactly like the rows of
 task, each worker segment-sums into the rows it owns, and no two workers
 ever touch the same output row — the paper's lock-free decomposition applied
 to every node of the tree instead of only the leaves.
+
+The same decomposition serves two callers: the single-node threaded dimtree
+backend (one tree over the whole tensor) and the *hybrid* distributed ranks
+(one rank-local tree per simulated MPI rank, each refined by the rank's own
+nested thread team — the paper's MPI+OpenMP configuration).  Nothing here is
+shared between trees, so concurrent rank threads each driving their own
+:func:`parallel_edge_update` never interfere.
 """
 
 from __future__ import annotations

@@ -22,7 +22,7 @@ from repro.core.ttmc import default_block_size, gather_ranges, ttmc_dtype
 from repro.parallel.parallel_for import ParallelConfig, parallel_for
 from repro.util.validation import check_axis, check_same_order
 
-__all__ = ["ttmc_row_block", "parallel_ttmc_matricized"]
+__all__ = ["ttmc_row_block", "parallel_ttmc_row_block", "parallel_ttmc_matricized"]
 
 
 def ttmc_row_block(
@@ -80,6 +80,51 @@ def ttmc_row_block(
         )
         sums = np.add.reduceat(kron, boundaries, axis=0)
         out[chunk_rows[boundaries]] += sums
+    return out
+
+
+def parallel_ttmc_row_block(
+    tensor: SparseTensor,
+    factors: Sequence[Optional[np.ndarray]],
+    mode: int,
+    symbolic: ModeSymbolic,
+    row_positions: np.ndarray,
+    *,
+    config: Optional[ParallelConfig] = None,
+    block_nnz: Optional[int] = None,
+) -> np.ndarray:
+    """Thread-parallel :func:`ttmc_row_block` (same contract, chunked rows).
+
+    Contiguous chunks of ``row_positions`` are distributed over worker
+    threads with the configured schedule; each worker computes its chunk via
+    :func:`ttmc_row_block` and writes the corresponding disjoint slice of the
+    shared output — the paper's lock-free row decomposition applied to a
+    compact row *block* instead of the full ``Y_(n)``.  This is what a hybrid
+    distributed rank runs: its local update lists, split over the rank's
+    nested thread team.
+    """
+    config = config or ParallelConfig()
+    row_positions = np.asarray(row_positions, dtype=np.int64)
+    widths = [
+        np.asarray(factors[t]).shape[1] for t in range(tensor.order) if t != mode
+    ]
+    width = kron_row_length(widths)
+    dtype = ttmc_dtype(tensor, factors, mode)
+    out = np.zeros((row_positions.shape[0], width), dtype=dtype)
+    if row_positions.shape[0] == 0:
+        return out
+
+    def body(start: int, stop: int) -> None:
+        out[start:stop] = ttmc_row_block(
+            tensor,
+            factors,
+            mode,
+            symbolic,
+            row_positions[start:stop],
+            block_nnz=block_nnz,
+        )
+
+    parallel_for(body, row_positions.shape[0], config)
     return out
 
 

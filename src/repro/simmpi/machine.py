@@ -39,7 +39,14 @@ class MachineModel:
     # Compute
     # ------------------------------------------------------------------ #
     def compute_time(self, work: PhaseWork, *, threads: int | None = None) -> float:
-        """On-node time of a phase executed with the rank's thread team."""
+        """On-node time of a phase executed with the rank's thread team.
+
+        ``threads`` overrides the machine-wide ``threads_per_rank`` for one
+        phase — the hybrid distributed runs charge each rank's compute at
+        its *configured* team size (``HOOIOptions.num_workers`` with
+        ``execution="thread"``), which is how thread-level work items feed
+        the Table V per-thread roofline inside the simulated cluster.
+        """
         return self.node.phase_time(work, threads or self.threads_per_rank)
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,213 @@
+"""The cross-backend conformance matrix — the spec of what composes.
+
+One parametrized suite sweeps every point of
+
+    grain ∈ {single-node, coarse, fine}
+  × execution ∈ {sequential, thread}
+  × ttmc_strategy ∈ {per-mode, dimtree}
+  × trsvd_method ∈ {lanczos, gram, randomized}
+  × dtype ∈ {float32, float64}
+
+on one small planted low-rank tensor (well-separated spectrum, so factor
+parity is meaningful — on a near-degenerate spectrum individual singular
+vectors rotate freely even though the fit agrees).
+
+*Supported* combinations assert 1e-10 fit **and** factor parity against the
+sequential float64 per-mode oracle of the same ``trsvd_method`` (float32
+within 1e-3); the execution / grain / strategy axes must never change the
+numbers.  *Unsupported* combinations assert :class:`ValueError` with an
+actionable message.  :meth:`repro.core.hooi.HOOIOptions.validate` is the
+single implementation of these rules; this file is their executable spec —
+extend both together when adding an option value (see CONTRIBUTING.md).
+"""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.core import HOOIOptions, hooi
+from repro.data import planted_lowrank_tensor
+from repro.distributed import distributed_hooi
+from repro.partition import make_partition
+
+SHAPE = (16, 12, 10)
+RANKS = (3, 3, 2)
+NNZ = 600
+ITERATIONS = 2
+
+GRAINS = ("single-node", "coarse", "fine")
+EXECUTIONS = ("sequential", "thread")
+STRATEGIES = ("per-mode", "dimtree")
+TRSVD_METHODS = ("lanczos", "gram", "randomized")
+DTYPES = ("float64", "float32")
+
+#: Partitioning strategy realizing each distributed grain.
+GRAIN_PARTITION = {"coarse": "coarse-bl", "fine": "fine-rd"}
+
+
+def combo_supported(grain: str, trsvd_method: str) -> bool:
+    """The composition rule of the matrix (mirrors HOOIOptions.validate)."""
+    if grain == "single-node":
+        return True
+    return trsvd_method == "lanczos"  # only TRSVD with a distributed impl
+
+
+ALL_COMBOS = list(product(GRAINS, EXECUTIONS, STRATEGIES, TRSVD_METHODS, DTYPES))
+SUPPORTED = [c for c in ALL_COMBOS if combo_supported(c[0], c[3])]
+UNSUPPORTED = [c for c in ALL_COMBOS if not combo_supported(c[0], c[3])]
+
+
+def combo_id(combo) -> str:
+    return "-".join(combo)
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    tensor, _ = planted_lowrank_tensor(SHAPE, RANKS, NNZ, seed=3)
+    return tensor
+
+
+@pytest.fixture(scope="module")
+def partitions(tensor):
+    return {
+        grain: make_partition(tensor, 3, strategy, seed=0)
+        for grain, strategy in GRAIN_PARTITION.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def oracles(tensor):
+    """Sequential float64 per-mode runs, one per trsvd_method.
+
+    The trsvd_method axis legitimately changes the numerics (different
+    solvers), so each method is its own oracle; every *other* axis must
+    reproduce that oracle exactly.
+    """
+    return {
+        method: hooi(
+            tensor,
+            RANKS,
+            HOOIOptions(
+                max_iterations=ITERATIONS, init="random", seed=0,
+                trsvd_method=method,
+            ),
+        )
+        for method in TRSVD_METHODS
+    }
+
+
+def build_options(execution, strategy, trsvd_method, dtype) -> HOOIOptions:
+    return HOOIOptions(
+        max_iterations=ITERATIONS,
+        init="random",
+        seed=0,
+        execution=execution,
+        num_workers=2 if execution != "sequential" else 1,
+        ttmc_strategy=strategy,
+        trsvd_method=trsvd_method,
+        dtype=dtype,
+    )
+
+
+def run_combo(tensor, partitions, grain, options):
+    if grain == "single-node":
+        result = hooi(tensor, RANKS, options)
+        return result.fit_history, result.decomposition.factors
+    result = distributed_hooi(tensor, RANKS, partitions[grain], options)
+    return result.fit_history, result.decomposition.factors
+
+
+class TestSupportedCombinations:
+    @pytest.mark.parametrize(
+        "grain,execution,strategy,trsvd_method,dtype",
+        SUPPORTED,
+        ids=[combo_id(c) for c in SUPPORTED],
+    )
+    def test_parity_with_sequential_oracle(
+        self, tensor, partitions, oracles, grain, execution, strategy,
+        trsvd_method, dtype,
+    ):
+        options = build_options(execution, strategy, trsvd_method, dtype)
+        fits, factors = run_combo(tensor, partitions, grain, options)
+        oracle = oracles[trsvd_method]
+        tol = 1e-10 if dtype == "float64" else 1e-3
+        assert np.allclose(fits, oracle.fit_history, atol=tol)
+        for ours, ref in zip(factors, oracle.decomposition.factors):
+            assert np.allclose(
+                np.asarray(ours, dtype=np.float64), ref, atol=tol
+            )
+
+
+class TestUnsupportedCombinations:
+    @pytest.mark.parametrize(
+        "grain,execution,strategy,trsvd_method,dtype",
+        UNSUPPORTED,
+        ids=[combo_id(c) for c in UNSUPPORTED],
+    )
+    def test_fails_fast_with_actionable_message(
+        self, tensor, partitions, grain, execution, strategy, trsvd_method,
+        dtype,
+    ):
+        options = build_options(execution, strategy, trsvd_method, dtype)
+        with pytest.raises(ValueError, match="lanczos"):
+            distributed_hooi(tensor, RANKS, partitions[grain], options)
+
+    @pytest.mark.parametrize("grain", ("coarse", "fine"))
+    def test_distributed_rejects_process_execution(
+        self, tensor, partitions, grain
+    ):
+        """One process pool per simulated rank would oversubscribe the node."""
+        options = HOOIOptions(
+            max_iterations=1, execution="process", num_workers=2
+        )
+        with pytest.raises(ValueError, match="oversubscribe"):
+            distributed_hooi(tensor, RANKS, partitions[grain], options)
+
+    def test_distributed_rejects_dense_trsvd(self, tensor, partitions):
+        options = HOOIOptions(max_iterations=1, trsvd_method="dense")
+        with pytest.raises(ValueError, match="lanczos"):
+            distributed_hooi(tensor, RANKS, partitions["fine"], options)
+
+
+class TestUnknownOptionValues:
+    """Unknown axis values fail in every context, via the one validator."""
+
+    @pytest.mark.parametrize(
+        "field,value,match",
+        [
+            ("trsvd_method", "qr", "trsvd_method"),
+            ("ttmc_strategy", "kd-tree", "ttmc_strategy"),
+            ("execution", "gpu", "execution"),
+            ("dtype", "float16", "dtype"),
+            ("num_workers", 0, "num_workers"),
+            ("max_iterations", 0, "max_iterations"),
+        ],
+    )
+    def test_rejected_single_node(self, tensor, field, value, match):
+        options = HOOIOptions(**{field: value})
+        with pytest.raises(ValueError, match=match):
+            hooi(tensor, RANKS, options)
+
+    @pytest.mark.parametrize(
+        "field,value,match",
+        [
+            ("trsvd_method", "qr", "trsvd_method"),
+            ("ttmc_strategy", "kd-tree", "ttmc_strategy"),
+            ("execution", "gpu", "execution"),
+            ("dtype", "float16", "dtype"),
+        ],
+    )
+    def test_rejected_distributed(self, tensor, partitions, field, value, match):
+        options = HOOIOptions(**{field: value})
+        with pytest.raises(ValueError, match=match):
+            distributed_hooi(tensor, RANKS, partitions["coarse"], options)
+
+    def test_unknown_context_rejected(self):
+        with pytest.raises(ValueError, match="context"):
+            HOOIOptions().validate(context="multiverse")
+
+    def test_validate_returns_options(self):
+        options = HOOIOptions(execution="thread", num_workers=2)
+        assert options.validate() is options
+        assert options.validate(context="distributed") is options

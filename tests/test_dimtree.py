@@ -315,6 +315,51 @@ class TestEquivalence:
             assert np.allclose(got, expected, atol=1e-10)
 
 
+class TestLeafLocalRows:
+    """The distributed driver's hook: compact leaf blocks over chosen rows."""
+
+    @pytest.mark.parametrize("order", [3, 4])
+    def test_block_matches_full_result_rows(self, order):
+        shape, ranks = _SHAPES[order]
+        tensor = _random_tensor(shape, 300, seed=17)
+        factors = _factors(shape, ranks, seed=3)
+        tree = DimensionTree(tensor)
+        rng = np.random.default_rng(5)
+        for mode in range(order):
+            full = tree.leaf_matricized(mode, factors)
+            # A sorted mix of non-empty and (possibly) empty rows.
+            rows = np.unique(rng.integers(0, shape[mode], 6))
+            block = tree.leaf_matricized(
+                mode, factors, local_rows=rows
+            )
+            assert block.shape == (rows.shape[0], full.shape[1])
+            assert np.allclose(block, full[rows], atol=1e-12)
+
+    def test_rows_without_local_nonzeros_come_back_zero(self):
+        shape, ranks = _SHAPES[3]
+        tensor = _random_tensor(shape, 40, seed=2)
+        factors = _factors(shape, ranks, seed=1)
+        tree = DimensionTree(tensor)
+        empty_rows = np.setdiff1d(
+            np.arange(shape[0]), tensor.nonempty_rows(0)
+        )
+        if empty_rows.size:
+            block = tree.leaf_matricized(
+                0, factors, local_rows=empty_rows[:3]
+            )
+            assert not block.any()
+
+    def test_empty_row_set(self):
+        shape, ranks = _SHAPES[3]
+        tensor = _random_tensor(shape, 100, seed=9)
+        factors = _factors(shape, ranks, seed=0)
+        tree = DimensionTree(tensor)
+        block = tree.leaf_matricized(
+            0, factors, local_rows=np.empty(0, dtype=np.int64)
+        )
+        assert block.shape[0] == 0
+
+
 class TestStrategyPlumbing:
     def test_default_strategy_is_per_mode(self):
         assert HOOIOptions().ttmc_strategy == "per-mode"
@@ -336,19 +381,25 @@ class TestStrategyPlumbing:
         with pytest.raises(ValueError, match="ttmc_strategy"):
             hooi(tensor, 2, HOOIOptions(ttmc_strategy="magic"))
 
-    def test_distributed_driver_fails_fast_on_dimtree(self):
-        # The distributed driver has no dimension-tree implementation;
-        # it must reject the option rather than silently run per-mode.
+    def test_distributed_driver_runs_rank_local_dimtrees(self):
+        # Since the hybrid-grain work the distributed driver composes with
+        # the dimension tree: each rank builds a rank-local tree and its
+        # leaves serve only the rank's rows, matching per-mode to 1e-10.
         from repro.distributed import distributed_hooi
         from repro.partition import make_partition
 
         tensor = _random_tensor((12, 10, 8), 300, seed=5)
         partition = make_partition(tensor, 2, "coarse-bl")
-        with pytest.raises(ValueError, match="ttmc_strategy='per-mode'"):
-            distributed_hooi(
-                tensor, 2, partition,
-                HOOIOptions(max_iterations=1, ttmc_strategy="dimtree"),
-            )
+        per_mode = distributed_hooi(
+            tensor, 2, partition, HOOIOptions(max_iterations=2, seed=0)
+        )
+        dimtree = distributed_hooi(
+            tensor, 2, partition,
+            HOOIOptions(max_iterations=2, seed=0, ttmc_strategy="dimtree"),
+        )
+        assert np.allclose(
+            dimtree.fit_history, per_mode.fit_history, atol=1e-10
+        )
 
     def test_shared_hooi_dimtree_matches_per_mode(self, medium_tensor_3d):
         options = dict(max_iterations=3, init="hosvd", seed=0)

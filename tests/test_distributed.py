@@ -224,6 +224,157 @@ class TestDistributedHOOI:
         assert hp.comm_volume_elements().mean() < rd.comm_volume_elements().mean()
 
 
+HYBRID_CONFIGS = {
+    "thread-per-mode": dict(execution="thread", num_workers=3),
+    "thread-dimtree": dict(execution="thread", num_workers=3,
+                           ttmc_strategy="dimtree"),
+}
+
+
+class TestHybridExecution:
+    """The paper's hybrid ranks: per-rank threads and/or rank-local dimtrees.
+
+    Execution strategy only changes local compute, so a hybrid run must
+    match the sequential-rank run of the same TTMc strategy to 1e-10 with
+    *byte-identical* communication statistics (volumes and message counts).
+    """
+
+    @pytest.mark.parametrize("partition_strategy", ["coarse-bl", "fine-hp"])
+    @pytest.mark.parametrize("config", list(HYBRID_CONFIGS),
+                             ids=list(HYBRID_CONFIGS))
+    def test_matches_sequential_rank_oracle(
+        self, tensor, ranks, partition_strategy, config
+    ):
+        hybrid = HYBRID_CONFIGS[config]
+        partition = make_partition(tensor, 4, partition_strategy, seed=1)
+        base = dict(max_iterations=3, init="random", seed=0)
+        oracle = distributed_hooi(
+            tensor, ranks, partition,
+            HOOIOptions(
+                **base, ttmc_strategy=hybrid.get("ttmc_strategy", "per-mode")
+            ),
+        )
+        run = distributed_hooi(
+            tensor, ranks, partition, HOOIOptions(**base, **hybrid)
+        )
+        assert np.allclose(run.fit_history, oracle.fit_history, atol=1e-10)
+        for ours, ref in zip(
+            run.decomposition.factors, oracle.decomposition.factors
+        ):
+            assert np.allclose(ours, ref, atol=1e-10)
+        assert np.allclose(
+            run.decomposition.core, oracle.decomposition.core, atol=1e-10
+        )
+        for rr, ref_rr in zip(run.rank_results, oracle.rank_results):
+            assert rr.comm_stats == ref_rr.comm_stats
+            assert rr.per_mode_comm_bytes == ref_rr.per_mode_comm_bytes
+
+    @pytest.mark.parametrize("partition_strategy", ["coarse-bl", "fine-hp"])
+    def test_dimtree_strategy_matches_per_mode(
+        self, tensor, ranks, partition_strategy
+    ):
+        """Rank-local dimension trees reproduce per-mode fits and traffic."""
+        partition = make_partition(tensor, 4, partition_strategy, seed=1)
+        base = dict(max_iterations=3, init="random", seed=0)
+        per_mode = distributed_hooi(
+            tensor, ranks, partition, HOOIOptions(**base)
+        )
+        dimtree = distributed_hooi(
+            tensor, ranks, partition,
+            HOOIOptions(**base, ttmc_strategy="dimtree"),
+        )
+        assert np.allclose(
+            dimtree.fit_history, per_mode.fit_history, atol=1e-10
+        )
+        for rr, ref_rr in zip(dimtree.rank_results, per_mode.rank_results):
+            assert rr.comm_stats == ref_rr.comm_stats
+
+    def test_hybrid_simulated_time_scales_with_threads(self, tensor, ranks):
+        """Thread-level work items feed the per-thread roofline model."""
+        partition = make_partition(tensor, 4, "fine-hp", seed=1)
+        times = {}
+        for threads in (1, 8):
+            run = distributed_hooi(
+                tensor, ranks, partition,
+                HOOIOptions(max_iterations=2, init="random", seed=0,
+                            execution="thread", num_workers=threads),
+            )
+            times[threads] = run.simulated_time_per_iteration
+        assert times[8] < times[1]
+
+    def test_empty_rank_runs_dimtree(self):
+        """A rank with no local nonzeros still serves (zero) rows."""
+        from repro.core import SparseTensor
+
+        rng = np.random.default_rng(0)
+        # All nonzeros in the low corner: the block partition leaves the
+        # last rank(s) without any local nonzeros.
+        indices = np.column_stack([rng.integers(0, 4, 120) for _ in range(3)])
+        tensor = SparseTensor(
+            indices, rng.standard_normal(120), (12, 10, 8),
+            sum_duplicates=True,
+        )
+        partition = make_partition(tensor, 3, "coarse-bl")
+        base = dict(max_iterations=2, init="random", seed=0)
+        per_mode = distributed_hooi(tensor, 2, partition, HOOIOptions(**base))
+        for config in HYBRID_CONFIGS.values():
+            hybrid = distributed_hooi(
+                tensor, 2, partition, HOOIOptions(**base, **config)
+            )
+            assert np.allclose(
+                hybrid.fit_history, per_mode.fit_history, atol=1e-10
+            )
+
+
+class TestDistributedCallbackAndFit:
+    def test_callback_fires_once_per_tracked_iteration(self, tensor, ranks):
+        partition = make_partition(tensor, 3, "fine-rd", seed=0)
+        calls = []
+        result = distributed_hooi(
+            tensor, ranks, partition,
+            HOOIOptions(max_iterations=3, init="random", seed=0),
+            callback=lambda it, fit: calls.append((it, fit)),
+        )
+        assert [it for it, _ in calls] == list(range(result.iterations))
+        assert np.allclose([f for _, f in calls], result.fit_history)
+
+    def test_callback_with_track_fit_disabled(self, tensor, ranks):
+        """Regression: track_fit=False never fires the callback, yet the
+        result still carries the single final fit (never silently NaN)."""
+        partition = make_partition(tensor, 3, "fine-rd", seed=0)
+        calls = []
+        result = distributed_hooi(
+            tensor, ranks, partition,
+            HOOIOptions(max_iterations=2, init="random", seed=0,
+                        track_fit=False),
+            callback=lambda it, fit: calls.append((it, fit)),
+        )
+        assert calls == []
+        assert len(result.fit_history) == 1
+        assert np.isfinite(result.fit)
+        assert result.iterations == 2
+
+    def test_fit_raises_on_empty_history(self):
+        from repro.core.tucker import TuckerTensor
+        from repro.distributed.dist_hooi import DistributedHOOIResult
+
+        broken = DistributedHOOIResult(
+            decomposition=TuckerTensor(
+                core=np.zeros((1, 1, 1)), factors=[np.zeros((2, 1))] * 3
+            ),
+            fit_history=[],
+            iterations=0,
+            converged=False,
+            rank_results=[],
+            strategy="fine-rd",
+            num_ranks=0,
+            simulated_time_per_iteration=0.0,
+            wall_time_per_iteration=0.0,
+        )
+        with pytest.raises(ValueError, match="fit_history is empty"):
+            broken.fit
+
+
 class TestPerformanceEstimator:
     def test_statistics_match_partition_counts(self, tensor, ranks):
         partition = make_partition(tensor, 4, "fine-rd", seed=3)

@@ -152,6 +152,21 @@ class TestTable5:
         assert 1 in result["netflix"]["measured"]
         assert result["netflix"]["measured"][1] > 0
 
+    def test_hybrid_runs_the_real_spmd_program(self, context):
+        from repro.experiments import render_table5_hybrid, run_table5_hybrid
+
+        result = run_table5_hybrid(
+            context, datasets=("netflix",), rank_counts=(2,),
+            thread_counts=(1, 8), iterations=1,
+        )
+        points = result["netflix"]
+        # More threads per rank → faster simulated iteration; identical fit
+        # (execution strategy only changes local compute).
+        assert points[(2, 8)]["simulated"] < points[(2, 1)]["simulated"]
+        assert points[(2, 8)]["fit"] == pytest.approx(points[(2, 1)]["fit"],
+                                                      abs=1e-12)
+        assert "ranks x threads" in render_table5_hybrid(result)
+
 
 class TestMetComparison:
     def test_runs_and_is_consistent(self):

@@ -172,12 +172,15 @@ class TestDegenerateAndResolver:
         with pytest.raises(ValueError, match="execution"):
             hooi(small_tensor_3d, 3, HOOIOptions(execution="gpu"))
 
-    def test_distributed_rejects_non_sequential_execution(self, small_tensor_3d):
+    def test_distributed_rejects_process_execution(self, small_tensor_3d):
+        # Hybrid ranks may run threads (and do, since the hybrid-grain
+        # work), but a worker-process pool per simulated rank would
+        # oversubscribe the node — rejected with an actionable message.
         from repro.distributed import distributed_hooi
         from repro.partition import make_partition
 
         partition = make_partition(small_tensor_3d, 2, "coarse-bl")
-        with pytest.raises(ValueError, match="execution='sequential'"):
+        with pytest.raises(ValueError, match="oversubscribe"):
             distributed_hooi(
                 small_tensor_3d, 3, partition,
                 HOOIOptions(max_iterations=1, execution="process"),

@@ -16,7 +16,14 @@ from repro.core import (
     unfold,
 )
 from repro.core.trsvd import lanczos_svd
-from repro.partition import Hypergraph, connectivity_cutsize, partition_hypergraph
+from repro.distributed import build_plans
+from repro.engine.dimtree import DimensionTree
+from repro.partition import (
+    Hypergraph,
+    connectivity_cutsize,
+    make_partition,
+    partition_hypergraph,
+)
 from repro.partition.multilevel import PartitionerOptions
 
 SETTINGS = settings(
@@ -190,6 +197,168 @@ class TestLanczosProperties:
         _, s, _ = np.linalg.svd(a, full_matrices=False)
         assert np.allclose(np.sort(result.singular_values)[::-1], s[:k],
                            rtol=1e-5, atol=1e-8)
+
+
+def _orthonormal_factors(tensor, seed, max_rank=3):
+    rng = np.random.default_rng(seed)
+    return [
+        np.linalg.qr(rng.standard_normal((s, min(max_rank, s))))[0]
+        for s in tensor.shape
+    ]
+
+
+class TestDimTreeInvalidationProperties:
+    """The dimension tree's cache-invalidation contract, on random shapes.
+
+    After refreshing ``U_n`` only the root-to-leaf path of ``n`` stays
+    fresh, and the following full sweep recomputes exactly the off-path
+    non-root nodes — for any tensor order, shape and update sequence, not
+    just the hand-picked cases.
+    """
+
+    @SETTINGS
+    @given(sparse_tensors(max_order=4, max_dim=10, max_nnz=50),
+           st.integers(min_value=0, max_value=3),
+           st.integers(0, 2**31 - 1))
+    def test_invalidation_keeps_exactly_the_path(self, tensor, mode_raw, seed):
+        mode = mode_raw % tensor.order
+        factors = _orthonormal_factors(tensor, seed)
+        tree = DimensionTree(tensor)
+        for m in range(tensor.order):
+            tree.leaf_matricized(m, factors)
+        assert set(tree.fresh_nodes()) == set(tree.nodes)
+
+        tree.invalidate_factor(mode)
+        assert set(tree.fresh_nodes()) == set(tree.path(mode))
+
+    @SETTINGS
+    @given(sparse_tensors(max_order=4, max_dim=10, max_nnz=50),
+           st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                    max_size=4),
+           st.integers(0, 2**31 - 1))
+    def test_sweep_recomputes_each_offpath_node_once(
+        self, tensor, modes_raw, seed
+    ):
+        factors = _orthonormal_factors(tensor, seed)
+        tree = DimensionTree(tensor)
+        for m in range(tensor.order):
+            tree.leaf_matricized(m, factors)
+        rng = np.random.default_rng(seed)
+        for raw in modes_raw:
+            mode = raw % tensor.order
+            # Replace U_mode and invalidate, as a factor update would.
+            factors[mode] = np.linalg.qr(
+                rng.standard_normal(factors[mode].shape)
+            )[0]
+            tree.invalidate_factor(mode)
+            before = tree.edge_updates
+            for m in range(tensor.order):
+                tree.leaf_matricized(m, factors)
+            # Off-path non-root nodes are recomputed exactly once each;
+            # the path of `mode` stayed fresh.
+            expected = len(tree.nodes) - len(tree.path(mode))
+            assert tree.edge_updates - before == expected
+
+    @SETTINGS
+    @given(sparse_tensors(max_order=4, max_dim=10, max_nnz=50),
+           st.integers(min_value=0, max_value=3),
+           st.integers(0, 2**31 - 1))
+    def test_leaf_matches_per_mode_after_update(self, tensor, mode_raw, seed):
+        mode = mode_raw % tensor.order
+        factors = _orthonormal_factors(tensor, seed)
+        tree = DimensionTree(tensor)
+        for m in range(tensor.order):
+            tree.leaf_matricized(m, factors)
+        rng = np.random.default_rng(seed + 1)
+        factors[mode] = np.linalg.qr(
+            rng.standard_normal(factors[mode].shape)
+        )[0]
+        tree.invalidate_factor(mode)
+        for m in range(tensor.order):
+            assert np.allclose(
+                tree.leaf_matricized(m, factors),
+                ttmc_matricized(tensor, factors, m),
+                atol=1e-10,
+            )
+
+
+@st.composite
+def partitioned_tensors(draw):
+    """A random 3-mode tensor plus a random partition of it."""
+    shape = tuple(draw(st.integers(min_value=4, max_value=12)) for _ in range(3))
+    nnz = draw(st.integers(min_value=20, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    indices = np.column_stack([rng.integers(0, s, nnz) for s in shape])
+    values = rng.standard_normal(nnz)
+    tensor = SparseTensor(indices, values, shape, sum_duplicates=True)
+    strategy = draw(st.sampled_from(["fine-rd", "fine-hp", "coarse-bl",
+                                     "coarse-hp"]))
+    parts = draw(st.integers(min_value=2, max_value=4))
+    return tensor, make_partition(tensor, parts, strategy, seed=seed % 1000)
+
+
+class TestDistributedOwnershipProperties:
+    """Row-ownership / exchange invariants of the distribution plans.
+
+    For any tensor and partition: the owned rows partition every mode, and
+    every row a rank needs but does not own is received from exactly one
+    peer — its owner — exactly once per mode.
+    """
+
+    OWN_SETTINGS = settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow,
+                               HealthCheck.data_too_large],
+    )
+
+    @OWN_SETTINGS
+    @given(partitioned_tensors())
+    def test_owned_rows_partition_every_mode(self, case):
+        tensor, partition = case
+        _, plans = build_plans(tensor, partition, 2)
+        for mode in range(tensor.order):
+            owned = np.concatenate([p.modes[mode].owned_rows for p in plans])
+            assert sorted(owned.tolist()) == list(range(tensor.shape[mode]))
+
+    @OWN_SETTINGS
+    @given(partitioned_tensors())
+    def test_every_needed_row_exchanged_exactly_once(self, case):
+        tensor, partition = case
+        _, plans = build_plans(tensor, partition, 2)
+        for mode in range(tensor.order):
+            row_owner = partition.row_owner[mode]
+            for plan in plans:
+                mp = plan.modes[mode]
+                owned = set(mp.owned_rows.tolist())
+                received = [
+                    int(r)
+                    for peer, rows in mp.factor_exchange.receive.items()
+                    for r in rows
+                ]
+                # ... exactly once: no duplicates across (or within) peers.
+                assert len(received) == len(set(received))
+                # ... never a row the rank already owns.
+                assert not (set(received) & owned)
+                # ... always from the row's owner.
+                for peer, rows in mp.factor_exchange.receive.items():
+                    assert np.all(row_owner[rows] == peer)
+                # ... and together they cover everything the rank needs.
+                assert set(mp.local_rows.tolist()) <= owned | set(received)
+
+    @OWN_SETTINGS
+    @given(partitioned_tensors())
+    def test_exchange_send_receive_are_mirror_images(self, case):
+        tensor, partition = case
+        _, plans = build_plans(tensor, partition, 2)
+        for mode in range(tensor.order):
+            for receiver, plan in enumerate(plans):
+                for owner, rows in plan.modes[mode].factor_exchange.receive.items():
+                    send = plans[owner].modes[mode].factor_exchange.send
+                    assert receiver in send
+                    assert np.array_equal(np.sort(send[receiver]),
+                                          np.sort(rows))
 
 
 class TestPartitionProperties:

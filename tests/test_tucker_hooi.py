@@ -209,3 +209,11 @@ class TestHOOI:
         assert not result.converged
         tracked = hooi(small_tensor_3d, 3, HOOIOptions(max_iterations=2))
         assert np.isclose(result.fit, tracked.fit, atol=1e-12)
+
+    def test_fit_raises_on_empty_history(self, small_tensor_3d):
+        # A result assembled from a run that died mid-iteration has no fit;
+        # accessing it must raise instead of silently returning NaN.
+        result = hooi(small_tensor_3d, 3, HOOIOptions(max_iterations=1))
+        result.fit_history.clear()
+        with pytest.raises(ValueError, match="fit_history is empty"):
+            result.fit
