@@ -1,0 +1,64 @@
+"""Shared scaffolding for the TTMc sweep benchmarks.
+
+The dimtree and CSF sweep benchmarks compare the same unit of work — one
+HOOI-iteration-worth of TTMc (serve every mode's ``Y_(n)``) — across TTMc
+strategies and tensor formats.  The sweep bodies and the acceptance-gate
+timing helper live here so the gates cannot drift apart methodologically.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import ttmc_matricized
+from repro.core.kron import kron_row_length
+from repro.sparse import csf_ttmc_matricized
+
+
+def median_time(fn, *args, rounds: int = 3) -> float:
+    """Median wall-clock seconds of ``fn(*args)`` over ``rounds`` calls."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn(*args)
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def sweep_width(tensor, rank: int) -> int:
+    return kron_row_length([rank] * (tensor.order - 1))
+
+
+def per_mode_sweep(tensor, factors, symbolic, pool, rank: int) -> None:
+    """Per-mode COO TTMc of every mode (the paper's Algorithm 2 baseline)."""
+    width = sweep_width(tensor, rank)
+    for mode in range(tensor.order):
+        out = pool.take((tensor.shape[mode], width), tensor.dtype,
+                        tag=f"out-{mode}")
+        ttmc_matricized(
+            tensor, factors, mode,
+            symbolic=symbolic[mode], out=out, workspace=pool,
+        )
+
+
+def dimtree_sweep(tensor, factors, tree, pool, rank: int) -> None:
+    """Dimension-tree sweep with the engine's per-mode invalidation."""
+    width = sweep_width(tensor, rank)
+    for mode in range(tensor.order):
+        out = pool.take((tensor.shape[mode], width), tensor.dtype,
+                        tag=f"out-{mode}")
+        tree.leaf_matricized(mode, factors, out=out, workspace=pool)
+        tree.invalidate_factor(mode)
+
+
+def csf_sweep(tensor, factors, trees, pool, rank: int) -> None:
+    """Fiber-vectorized sweep over a :class:`~repro.sparse.CSFTensorSet`."""
+    width = sweep_width(tensor, rank)
+    for mode in range(tensor.order):
+        out = pool.take((tensor.shape[mode], width), tensor.dtype,
+                        tag=f"out-{mode}")
+        csf_ttmc_matricized(
+            trees.tree_for(mode), factors, mode, out=out, workspace=pool,
+        )

@@ -6,20 +6,19 @@ engine does) — evaluated with the two ``ttmc_strategy`` settings.  The
 power-law tensor merges many nonzeros per mode-pair fiber, which is where
 the dimension tree's semi-sparse intermediates pay off: the expensive
 full-width leaf updates run over merged fibers instead of raw nonzeros.
+The sweep bodies and timing helper are shared with the CSF format benchmark
+(``sweep_utils``).
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
 import pytest
 
-from repro.core import SymbolicTTMc, ttmc_matricized
-from repro.core.kron import kron_row_length
+from repro.core import SymbolicTTMc
 from repro.data import power_law_sparse_tensor
 from repro.engine import DimensionTree, WorkspacePool
 from repro.util.linalg import random_orthonormal
+from sweep_utils import dimtree_sweep, median_time, per_mode_sweep
 
 RANK = 8
 
@@ -43,31 +42,11 @@ def symbolic(tensor):
     return SymbolicTTMc(tensor)
 
 
-def _per_mode_sweep(tensor, factors, symbolic, pool):
-    width = kron_row_length([RANK] * (tensor.order - 1))
-    for mode in range(tensor.order):
-        out = pool.take((tensor.shape[mode], width), tensor.dtype,
-                        tag=f"out-{mode}")
-        ttmc_matricized(
-            tensor, factors, mode,
-            symbolic=symbolic[mode], out=out, workspace=pool,
-        )
-
-
-def _dimtree_sweep(tensor, factors, tree, pool):
-    width = kron_row_length([RANK] * (tensor.order - 1))
-    for mode in range(tensor.order):
-        out = pool.take((tensor.shape[mode], width), tensor.dtype,
-                        tag=f"out-{mode}")
-        tree.leaf_matricized(mode, factors, out=out, workspace=pool)
-        tree.invalidate_factor(mode)
-
-
 def test_ttmc_sweep_per_mode(benchmark, tensor, factors, symbolic):
     pool = WorkspacePool()
     benchmark.pedantic(
-        _per_mode_sweep,
-        args=(tensor, factors, symbolic, pool),
+        per_mode_sweep,
+        args=(tensor, factors, symbolic, pool, RANK),
         rounds=3,
         warmup_rounds=1,
     )
@@ -77,8 +56,8 @@ def test_ttmc_sweep_dimtree(benchmark, tensor, factors):
     tree = DimensionTree(tensor)
     pool = WorkspacePool()
     benchmark.pedantic(
-        _dimtree_sweep,
-        args=(tensor, factors, tree, pool),
+        dimtree_sweep,
+        args=(tensor, factors, tree, pool, RANK),
         rounds=3,
         warmup_rounds=1,
     )
@@ -88,19 +67,11 @@ def test_dimtree_beats_per_mode(tensor, factors, symbolic):
     """Acceptance gate: the memoized sweep must win on a 4-mode tensor."""
     tree = DimensionTree(tensor)
     pool_a, pool_b = WorkspacePool(), WorkspacePool()
-    _per_mode_sweep(tensor, factors, symbolic, pool_a)   # warm-up
-    _dimtree_sweep(tensor, factors, tree, pool_b)
+    per_mode_sweep(tensor, factors, symbolic, pool_a, RANK)   # warm-up
+    dimtree_sweep(tensor, factors, tree, pool_b, RANK)
 
-    def median_time(fn, *args):
-        times = []
-        for _ in range(3):
-            start = time.perf_counter()
-            fn(*args)
-            times.append(time.perf_counter() - start)
-        return float(np.median(times))
-
-    per_mode = median_time(_per_mode_sweep, tensor, factors, symbolic, pool_a)
-    dimtree = median_time(_dimtree_sweep, tensor, factors, tree, pool_b)
+    per_mode = median_time(per_mode_sweep, tensor, factors, symbolic, pool_a, RANK)
+    dimtree = median_time(dimtree_sweep, tensor, factors, tree, pool_b, RANK)
     assert dimtree < per_mode, (
         f"dimtree sweep ({dimtree * 1e3:.1f} ms) should beat per-mode "
         f"({per_mode * 1e3:.1f} ms)"

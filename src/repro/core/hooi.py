@@ -39,6 +39,7 @@ __all__ = ["HOOIOptions", "HOOIResult", "hooi", "hooi_iteration_stats"]
 TRSVD_METHODS = ("lanczos", "randomized", "gram", "dense")
 TTMC_STRATEGIES = ("per-mode", "dimtree")
 EXECUTIONS = ("sequential", "thread", "process")
+TENSOR_FORMATS = ("coo", "csf")
 VALIDATION_CONTEXTS = ("single-node", "distributed")
 
 
@@ -65,10 +66,21 @@ class HOOIOptions:
     decomposition, limited wall-clock gain in CPython) or ``"process"``
     (worker processes with zero-copy shared memory — true multicore;
     ``num_workers`` sets the worker count for both).  Both compose with
-    either ``ttmc_strategy`` and with the dtype policy.  On the distributed
+    either ``ttmc_strategy`` and with the dtype policy.
+    ``tensor_format`` selects the storage the TTMc phase executes on:
+    ``"coo"`` (the flat coordinate layout every other axis value was built
+    on) or ``"csf"`` (Compressed Sparse Fiber trees,
+    :mod:`repro.sparse.csf` — shared index prefixes stored once, TTMc as
+    vectorized fiber-segment sweeps; one rooted tree per mode by default).
+    CSF replaces the TTMc evaluation strategy wholesale, so it composes
+    with ``execution="sequential"|"thread"`` and every ``trsvd_method`` /
+    ``dtype`` / distributed grain, but *not* with
+    ``ttmc_strategy="dimtree"`` (two competing TTMc strategies — pick one)
+    nor, yet, with ``execution="process"`` (the CSF level arrays are not
+    exposed through the shared-memory worker pool).  On the distributed
     driver every rank runs the options locally (hybrid MPI+threads ranks,
-    rank-local dimension trees); what composes per context is defined by
-    :meth:`validate` and specified executable-y by
+    rank-local dimension trees or CSF trees); what composes per context is
+    defined by :meth:`validate` and specified executable-y by
     ``tests/test_conformance_matrix.py``.
     """
 
@@ -84,6 +96,7 @@ class HOOIOptions:
     ttmc_strategy: str = "per-mode"
     execution: str = "sequential"
     num_workers: int = 1
+    tensor_format: str = "coo"
 
     def validate(self, context: str = "single-node") -> "HOOIOptions":
         """Check the option values *and* their composition for a driver context.
@@ -148,6 +161,29 @@ class HOOIOptions:
             raise ValueError(
                 f"max_iterations must be >= 1, got {self.max_iterations}"
             )
+        tensor_format = self.tensor_format or "coo"
+        if tensor_format not in TENSOR_FORMATS:
+            raise ValueError(
+                f"unknown tensor_format {tensor_format!r}: expected one of "
+                f"{TENSOR_FORMATS}"
+            )
+        if tensor_format == "csf":
+            if strategy == "dimtree":
+                raise ValueError(
+                    "tensor_format='csf' does not compose with "
+                    "ttmc_strategy='dimtree': both replace the TTMc "
+                    "evaluation strategy wholesale — pick one (CSF "
+                    "fiber-segment sweeps, or the memoized dimension tree "
+                    "over COO)"
+                )
+            if execution == "process":
+                raise ValueError(
+                    "tensor_format='csf' with execution='process' is not "
+                    "implemented: the CSF level arrays are not exposed "
+                    "through the shared-memory worker pool yet — use "
+                    "execution='thread' for parallel CSF sweeps, or "
+                    "tensor_format='coo' with the process backend"
+                )
 
         if context == "distributed":
             if self.trsvd_method != "lanczos":

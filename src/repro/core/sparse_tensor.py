@@ -194,6 +194,16 @@ class SparseTensor:
         """Frobenius norm."""
         return float(np.linalg.norm(self.values))
 
+    def memory_bytes(self) -> int:
+        """Bytes held by the coordinate and value arrays.
+
+        The COO footprint is ``nnz × (order × 8 + itemsize)`` — one int64
+        per mode per nonzero plus the value.  Compressed formats
+        (:meth:`repro.sparse.csf.CSFTensor.memory_bytes`) report the same
+        measure so footprints compare directly.
+        """
+        return int(self.indices.nbytes + self.values.nbytes)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SparseTensor(shape={self.shape}, nnz={self.nnz}, "

@@ -44,6 +44,15 @@ def read_tns(
 
     If ``shape`` is not given it is taken from a ``# shape:`` header when
     present, otherwise inferred from the maximum index of each mode.
+
+    Duplicate coordinates are merged by summing (``sum_duplicates=True``, the
+    default): real-world dumps repeat coordinates, and a tensor carrying
+    duplicates silently corrupts every norm-based quantity downstream (the
+    fit each HOOI driver reports divides by ``norm()``, which would count the
+    duplicated values as distinct entries).  Pass ``sum_duplicates=False``
+    only to inspect a file's raw contents, and call
+    :meth:`~repro.core.sparse_tensor.SparseTensor.deduplicate` before any
+    numeric use.
     """
     path = Path(path)
     header_shape: Optional[list] = None

@@ -207,12 +207,15 @@ class DistributedBackend(ExecutionBackend):
         # dimension tree, sequential or nested worker threads.
         self.local_backend = resolve_ttmc_backend(eng.options)
         strategy = eng.options.ttmc_strategy or "per-mode"
-        if strategy == "per-mode":
+        tensor_format = eng.options.tensor_format or "coo"
+        if strategy == "per-mode" and tensor_format == "coo":
             # The plan already built this rank's symbolic TTMc data
             # (index-only, so the dtype cast is irrelevant); seed the
             # backend instead of redoing the per-mode argsorts.
             self.local_backend.symbolic = self.plan.symbolic
         else:
+            # Rank-local dimension tree or rank-local CSF trees, built over
+            # the rank's local tensor (global index space, local nonzeros).
             self.local_backend.prepare(eng)
         # Rows each mode's local TTMc produces (line 4 vs 6 of Algorithm 4):
         # fine grain the local ``J_n``, coarse grain the owned slices — in

@@ -7,10 +7,12 @@ shared by the sequential, shared-memory and distributed HOOI drivers.
 """
 
 from repro.engine.backend import (
+    CSFBackend,
     ExecutionBackend,
     ProcessBackend,
     SequentialBackend,
     ThreadedBackend,
+    ThreadedCSFBackend,
     parallel_symbolic,
     trsvd_kwargs,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "SequentialBackend",
     "ThreadedBackend",
     "ProcessBackend",
+    "CSFBackend",
+    "ThreadedCSFBackend",
     "parallel_symbolic",
     "trsvd_kwargs",
     "DimensionTree",

@@ -52,10 +52,42 @@ __all__ = [
     "SequentialBackend",
     "ThreadedBackend",
     "ProcessBackend",
+    "CSFBackend",
+    "ThreadedCSFBackend",
     "trsvd_kwargs",
     "parallel_symbolic",
     "symbolic_row_positions",
+    "gather_present_rows",
 ]
+
+
+def gather_present_rows(
+    sorted_rows: np.ndarray,
+    payload: np.ndarray,
+    wanted: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Gather ``payload`` rows for ``wanted`` global indices, zeroing absentees.
+
+    ``sorted_rows`` maps payload row ``i`` to the global index it holds
+    (sorted ascending, as every compact TTMc form produces); ``out[p]``
+    receives ``payload[i]`` where ``sorted_rows[i] == wanted[p]``, and zeros
+    when ``wanted[p]`` is absent — a global row with no local nonzeros
+    contributes nothing.  This is the one membership-gather idiom shared by
+    the compact row-block seams (dimension-tree leaves, CSF compact blocks);
+    :func:`symbolic_row_positions` is its strict sibling that *raises* on
+    absent rows instead.
+    """
+    if sorted_rows.shape[0] == 0:
+        out[:] = 0
+        return out
+    positions = np.searchsorted(sorted_rows, wanted)
+    clipped = np.minimum(positions, sorted_rows.shape[0] - 1)
+    present = sorted_rows[clipped] == wanted
+    out[present] = payload[positions[present]]
+    if not present.all():
+        out[~present] = 0
+    return out
 
 
 def trsvd_kwargs(options) -> dict:
@@ -302,6 +334,114 @@ class ThreadedBackend(ExecutionBackend):
             config=self.config,
             block_nnz=eng.options.block_nnz,
         )
+
+
+class CSFBackend(SequentialBackend):
+    """Sequential execution over Compressed Sparse Fiber storage.
+
+    ``prepare`` compresses the engine's tensor into CSF trees
+    (:class:`repro.sparse.csf.CSFTensorSet`) instead of building per-mode
+    update lists; ``compute_ttmc`` then serves each mode's ``Y_(n)`` as a
+    fiber-segment sweep (:func:`repro.sparse.csf_ttmc.csf_ttmc_matricized`)
+    — factor rows gathered once per merged fiber, partial products reduced
+    over fiber extents with ``np.add.reduceat``.  ``trees`` selects the
+    layout policy: ``"per-mode"`` (default) builds one tree rooted at every
+    mode, the fastest configuration at ``order``× the index memory;
+    ``"shared"`` builds a single shortest-mode-first tree reused for every
+    mode — minimal memory, with deep target modes served by the slower
+    pushdown/pullup pass.
+    """
+
+    name = "csf"
+
+    #: Tree layout policies ``__init__`` accepts.
+    TREE_POLICIES = ("per-mode", "shared")
+
+    def __init__(self, trees: str = "per-mode") -> None:
+        if trees not in self.TREE_POLICIES:
+            raise ValueError(
+                f"unknown CSF tree policy {trees!r}: expected one of "
+                f"{self.TREE_POLICIES}"
+            )
+        self.trees = trees
+        self.tensors = None
+
+    def prepare(self, eng) -> None:
+        from repro.sparse import CSFTensorSet
+
+        if self.trees == "per-mode":
+            config = self._ttmc_config()
+            self.tensors = CSFTensorSet.per_mode(
+                eng.tensor,
+                num_threads=config.num_threads if config is not None else 1,
+            )
+        else:
+            self.tensors = CSFTensorSet.shared_tree(eng.tensor)
+
+    def _ttmc_config(self):
+        """Thread configuration for the fiber sweeps (None = inline)."""
+        return None
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        from repro.sparse import csf_ttmc_matricized
+
+        return csf_ttmc_matricized(
+            self.tensors.tree_for(mode),
+            eng.factors,
+            mode,
+            out=self._pooled_out(eng, mode),
+            workspace=eng.workspace,
+            config=self._ttmc_config(),
+            # Every J_n row is assigned and _pooled_out keeps the rest zero.
+            zero="none",
+        )
+
+    def compute_ttmc_rows(self, eng, mode: int, rows: np.ndarray) -> np.ndarray:
+        """Compact TTMc block for a sorted set of global rows.
+
+        The fiber sweep already produces ``Y_(n)`` in compact ``(J_n, ∏R_t)``
+        form, so serving a rank's owned/local rows is one sorted gather —
+        rows without local nonzeros come back zero, mirroring the dimension
+        tree's ``local_rows`` contract.
+        """
+        from repro.sparse import csf_ttmc_compact
+
+        tree = self.tensors.tree_for(mode)
+        all_rows, block = csf_ttmc_compact(
+            tree,
+            eng.factors,
+            mode,
+            workspace=eng.workspace,
+            config=self._ttmc_config(),
+        )
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty((rows.shape[0], block.shape[1]), dtype=block.dtype)
+        return gather_present_rows(all_rows, block, rows, out)
+
+
+class ThreadedCSFBackend(CSFBackend):
+    """Shared-memory execution over CSF storage.
+
+    The numeric sweep distributes contiguous *root-fiber slabs* over worker
+    threads with the configured ``make_chunks`` schedule.  A slab's subtree
+    is a contiguous node range at every level and its output rows are
+    exactly its root fibers, so — with the per-mode rooted trees this
+    backend always builds — no two workers ever write the same ``Y_(n)``
+    row: the paper's lock-free row decomposition, applied to fibers.
+    """
+
+    name = "threaded-csf"
+
+    def __init__(self, config=None) -> None:
+        from repro.parallel.parallel_for import ParallelConfig
+
+        # Root-fiber slabs partition the output rows only when every tree
+        # is rooted at its target mode, so the policy is fixed.
+        super().__init__(trees="per-mode")
+        self.config = config or ParallelConfig()
+
+    def _ttmc_config(self):
+        return self.config
 
 
 class ProcessBackend(SequentialBackend):

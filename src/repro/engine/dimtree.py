@@ -53,7 +53,14 @@ from repro.core.subset_ttmc import (
     group_fibers,
     subset_widths,
 )
-from repro.engine.backend import ProcessBackend, SequentialBackend, ThreadedBackend
+from repro.engine.backend import (
+    CSFBackend,
+    ProcessBackend,
+    SequentialBackend,
+    ThreadedBackend,
+    ThreadedCSFBackend,
+    gather_present_rows,
+)
 from repro.util.validation import check_axis
 
 __all__ = [
@@ -336,17 +343,9 @@ class DimensionTree:
             return out
         # The leaf's fibers are its distinct mode indices in ascending order
         # (group_fibers sorts), so membership is one searchsorted.
-        leaf_rows = leaf.index_cols[:, 0]
-        if leaf.num_fibers:
-            pos = np.searchsorted(leaf_rows, local_rows)
-            clipped = np.minimum(pos, leaf.num_fibers - 1)
-            present = leaf_rows[clipped] == local_rows
-            out[present] = leaf.payload[pos[present]]
-            if not present.all():
-                out[~present] = 0
-        else:
-            out[:] = 0
-        return out
+        return gather_present_rows(
+            leaf.index_cols[:, 0], leaf.payload, local_rows, out
+        )
 
     def _ensure_fresh(
         self,
@@ -602,21 +601,27 @@ class ProcessDimTreeBackend(DimTreeBackend):
 
 
 def resolve_ttmc_backend(options, config=None):
-    """Backend implied by ``HOOIOptions.ttmc_strategy`` and ``.execution``.
+    """Backend implied by ``ttmc_strategy``, ``execution`` and ``tensor_format``.
 
     ``config`` (a :class:`~repro.parallel.parallel_for.ParallelConfig`)
     comes from the threaded driver and selects the thread-parallel variants;
     without it, ``options.execution`` decides: ``"sequential"`` (default),
     ``"thread"`` (``options.num_workers`` threads) or ``"process"``
     (``options.num_workers`` worker processes with zero-copy shared memory).
-    Both axes compose with either ``ttmc_strategy``.  Option values are
-    checked by :meth:`~repro.core.hooi.HOOIOptions.validate` (single-node
-    context — the distributed driver applies its stricter composition rules
-    before resolving its rank-local backends).
+    ``tensor_format="csf"`` swaps the COO kernels for the fiber-tree
+    backends (:class:`~repro.engine.backend.CSFBackend` /
+    :class:`~repro.engine.backend.ThreadedCSFBackend`); it composes with
+    sequential and threaded execution but replaces the TTMc strategy, so
+    ``validate`` rejects it with ``dimtree`` or ``process``.  Option values
+    and composition are checked by
+    :meth:`~repro.core.hooi.HOOIOptions.validate` (single-node context —
+    the distributed driver applies its stricter composition rules before
+    resolving its rank-local backends).
     """
     options.validate()
     strategy = options.ttmc_strategy or "per-mode"
     execution = options.execution or "sequential"
+    tensor_format = getattr(options, "tensor_format", "coo") or "coo"
     num_workers = int(options.num_workers or 1)
     if execution == "process":
         from repro.parallel.process_pool import ProcessConfig
@@ -635,6 +640,8 @@ def resolve_ttmc_backend(options, config=None):
         from repro.parallel.parallel_for import ParallelConfig
 
         config = ParallelConfig(num_threads=num_workers)
+    if tensor_format == "csf":
+        return CSFBackend() if config is None else ThreadedCSFBackend(config)
     if strategy == "per-mode":
         return SequentialBackend() if config is None else ThreadedBackend(config)
     return DimTreeBackend() if config is None else ThreadedDimTreeBackend(config)

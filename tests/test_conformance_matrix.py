@@ -7,6 +7,7 @@ One parametrized suite sweeps every point of
   × ttmc_strategy ∈ {per-mode, dimtree}
   × trsvd_method ∈ {lanczos, gram, randomized}
   × dtype ∈ {float32, float64}
+  × tensor_format ∈ {coo, csf}
 
 on one small planted low-rank tensor (well-separated spectrum, so factor
 parity is meaningful — on a near-degenerate spectrum individual singular
@@ -14,11 +15,16 @@ vectors rotate freely even though the fit agrees).
 
 *Supported* combinations assert 1e-10 fit **and** factor parity against the
 sequential float64 per-mode oracle of the same ``trsvd_method`` (float32
-within 1e-3); the execution / grain / strategy axes must never change the
-numbers.  *Unsupported* combinations assert :class:`ValueError` with an
-actionable message.  :meth:`repro.core.hooi.HOOIOptions.validate` is the
-single implementation of these rules; this file is their executable spec —
-extend both together when adding an option value (see CONTRIBUTING.md).
+within 1e-3); the execution / grain / strategy / format axes must never
+change the numbers.  *Unsupported* combinations assert :class:`ValueError`
+with an actionable message.  Two composition rules carve the matrix: the
+distributed grains support only the Lanczos TRSVD, and ``tensor_format=
+"csf"`` replaces the TTMc evaluation strategy, so it excludes
+``ttmc_strategy="dimtree"`` (and ``execution="process"``, asserted
+separately alongside the other process rejections).
+:meth:`repro.core.hooi.HOOIOptions.validate` is the single implementation of
+these rules; this file is their executable spec — extend both together when
+adding an option value (see CONTRIBUTING.md).
 """
 
 from itertools import product
@@ -41,21 +47,33 @@ EXECUTIONS = ("sequential", "thread")
 STRATEGIES = ("per-mode", "dimtree")
 TRSVD_METHODS = ("lanczos", "gram", "randomized")
 DTYPES = ("float64", "float32")
+FORMATS = ("coo", "csf")
 
 #: Partitioning strategy realizing each distributed grain.
 GRAIN_PARTITION = {"coarse": "coarse-bl", "fine": "fine-rd"}
 
 
-def combo_supported(grain: str, trsvd_method: str) -> bool:
+def combo_supported(grain: str, strategy: str, trsvd_method: str, fmt: str) -> bool:
     """The composition rule of the matrix (mirrors HOOIOptions.validate)."""
+    if fmt == "csf" and strategy == "dimtree":
+        return False  # two competing TTMc strategies — pick one
     if grain == "single-node":
         return True
     return trsvd_method == "lanczos"  # only TRSVD with a distributed impl
 
 
-ALL_COMBOS = list(product(GRAINS, EXECUTIONS, STRATEGIES, TRSVD_METHODS, DTYPES))
-SUPPORTED = [c for c in ALL_COMBOS if combo_supported(c[0], c[3])]
-UNSUPPORTED = [c for c in ALL_COMBOS if not combo_supported(c[0], c[3])]
+def unsupported_match(grain: str, strategy: str, trsvd_method: str, fmt: str) -> str:
+    """Substring the rejection message must contain (csf×dimtree fires first)."""
+    if fmt == "csf" and strategy == "dimtree":
+        return "dimtree"
+    return "lanczos"
+
+
+ALL_COMBOS = list(
+    product(GRAINS, EXECUTIONS, STRATEGIES, TRSVD_METHODS, DTYPES, FORMATS)
+)
+SUPPORTED = [c for c in ALL_COMBOS if combo_supported(c[0], c[2], c[3], c[5])]
+UNSUPPORTED = [c for c in ALL_COMBOS if not combo_supported(c[0], c[2], c[3], c[5])]
 
 
 def combo_id(combo) -> str:
@@ -78,7 +96,7 @@ def partitions(tensor):
 
 @pytest.fixture(scope="module")
 def oracles(tensor):
-    """Sequential float64 per-mode runs, one per trsvd_method.
+    """Sequential float64 per-mode COO runs, one per trsvd_method.
 
     The trsvd_method axis legitimately changes the numerics (different
     solvers), so each method is its own oracle; every *other* axis must
@@ -97,7 +115,7 @@ def oracles(tensor):
     }
 
 
-def build_options(execution, strategy, trsvd_method, dtype) -> HOOIOptions:
+def build_options(execution, strategy, trsvd_method, dtype, fmt) -> HOOIOptions:
     return HOOIOptions(
         max_iterations=ITERATIONS,
         init="random",
@@ -107,6 +125,7 @@ def build_options(execution, strategy, trsvd_method, dtype) -> HOOIOptions:
         ttmc_strategy=strategy,
         trsvd_method=trsvd_method,
         dtype=dtype,
+        tensor_format=fmt,
     )
 
 
@@ -120,15 +139,15 @@ def run_combo(tensor, partitions, grain, options):
 
 class TestSupportedCombinations:
     @pytest.mark.parametrize(
-        "grain,execution,strategy,trsvd_method,dtype",
+        "grain,execution,strategy,trsvd_method,dtype,fmt",
         SUPPORTED,
         ids=[combo_id(c) for c in SUPPORTED],
     )
     def test_parity_with_sequential_oracle(
         self, tensor, partitions, oracles, grain, execution, strategy,
-        trsvd_method, dtype,
+        trsvd_method, dtype, fmt,
     ):
-        options = build_options(execution, strategy, trsvd_method, dtype)
+        options = build_options(execution, strategy, trsvd_method, dtype, fmt)
         fits, factors = run_combo(tensor, partitions, grain, options)
         oracle = oracles[trsvd_method]
         tol = 1e-10 if dtype == "float64" else 1e-3
@@ -141,17 +160,18 @@ class TestSupportedCombinations:
 
 class TestUnsupportedCombinations:
     @pytest.mark.parametrize(
-        "grain,execution,strategy,trsvd_method,dtype",
+        "grain,execution,strategy,trsvd_method,dtype,fmt",
         UNSUPPORTED,
         ids=[combo_id(c) for c in UNSUPPORTED],
     )
     def test_fails_fast_with_actionable_message(
         self, tensor, partitions, grain, execution, strategy, trsvd_method,
-        dtype,
+        dtype, fmt,
     ):
-        options = build_options(execution, strategy, trsvd_method, dtype)
-        with pytest.raises(ValueError, match="lanczos"):
-            distributed_hooi(tensor, RANKS, partitions[grain], options)
+        options = build_options(execution, strategy, trsvd_method, dtype, fmt)
+        match = unsupported_match(grain, strategy, trsvd_method, fmt)
+        with pytest.raises(ValueError, match=match):
+            run_combo(tensor, partitions, grain, options)
 
     @pytest.mark.parametrize("grain", ("coarse", "fine"))
     def test_distributed_rejects_process_execution(
@@ -169,6 +189,16 @@ class TestUnsupportedCombinations:
         with pytest.raises(ValueError, match="lanczos"):
             distributed_hooi(tensor, RANKS, partitions["fine"], options)
 
+    @pytest.mark.parametrize("grain", GRAINS)
+    def test_csf_rejects_process_execution(self, tensor, partitions, grain):
+        """The CSF level arrays are not in the shared-memory pool yet."""
+        options = HOOIOptions(
+            max_iterations=1, tensor_format="csf", execution="process",
+            num_workers=2,
+        )
+        with pytest.raises(ValueError, match="process"):
+            run_combo(tensor, partitions, grain, options)
+
 
 class TestUnknownOptionValues:
     """Unknown axis values fail in every context, via the one validator."""
@@ -180,6 +210,7 @@ class TestUnknownOptionValues:
             ("ttmc_strategy", "kd-tree", "ttmc_strategy"),
             ("execution", "gpu", "execution"),
             ("dtype", "float16", "dtype"),
+            ("tensor_format", "parquet", "tensor_format"),
             ("num_workers", 0, "num_workers"),
             ("max_iterations", 0, "max_iterations"),
         ],
@@ -196,6 +227,7 @@ class TestUnknownOptionValues:
             ("ttmc_strategy", "kd-tree", "ttmc_strategy"),
             ("execution", "gpu", "execution"),
             ("dtype", "float16", "dtype"),
+            ("tensor_format", "parquet", "tensor_format"),
         ],
     )
     def test_rejected_distributed(self, tensor, partitions, field, value, match):

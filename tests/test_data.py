@@ -160,3 +160,73 @@ class TestIO:
             read_tns(path)
         t = read_tns(path, shape=(3, 3))
         assert t.nnz == 0
+
+
+class TestDuplicateCoordinates:
+    """Real-world files repeat coordinates; loaders must merge them.
+
+    A loaded tensor with duplicated coordinates silently corrupts anything
+    norm-based downstream: the TTMc accumulates duplicates correctly (it
+    sums them anyway), but ``norm()`` — and therefore every fit the HOOI
+    drivers report — treats the stored values as distinct entries.  The
+    readers therefore merge duplicates by default; these are the regression
+    tests pinning that behaviour.
+    """
+
+    @pytest.fixture
+    def duplicated_file(self, tmp_path):
+        path = tmp_path / "dup.tns"
+        path.write_text(
+            "# shape: 4 3 5\n"
+            "1 2 3 1.5\n"
+            "4 1 5 -2.0\n"
+            "1 2 3 0.5\n"   # duplicate of line 1
+            "1 2 3 1.0\n"   # triplicate of line 1
+            "4 1 5 1.0\n"   # duplicate of line 2
+        )
+        return path
+
+    def test_read_tns_merges_duplicates_by_default(self, duplicated_file):
+        tensor = read_tns(duplicated_file)
+        assert tensor.nnz == 2
+        dense = tensor.to_dense()
+        assert np.isclose(dense[0, 1, 2], 3.0)
+        assert np.isclose(dense[3, 0, 4], -1.0)
+
+    def test_read_tns_norm_not_corrupted(self, duplicated_file):
+        """The fit every driver reports divides by this norm."""
+        tensor = read_tns(duplicated_file)
+        assert np.isclose(tensor.norm(), np.sqrt(3.0**2 + 1.0**2))
+
+    def test_read_tns_escape_hatch_keeps_duplicates(self, duplicated_file):
+        raw = read_tns(duplicated_file, sum_duplicates=False)
+        assert raw.nnz == 5
+        assert raw.deduplicate().nnz == 2
+        # The dedup'd escape hatch agrees with the default path.
+        assert raw.deduplicate().allclose(read_tns(duplicated_file))
+
+    def test_loaded_duplicates_ttmc_matches_deduplicated(self, duplicated_file):
+        from repro.core import ttmc_matricized
+        from repro.util.linalg import random_orthonormal
+
+        tensor = read_tns(duplicated_file)
+        raw = read_tns(duplicated_file, sum_duplicates=False)
+        factors = [
+            random_orthonormal(s, 2, seed=n)
+            for n, s in enumerate(tensor.shape)
+        ]
+        for mode in range(tensor.order):
+            np.testing.assert_allclose(
+                ttmc_matricized(tensor, factors, mode),
+                ttmc_matricized(raw.deduplicate(), factors, mode),
+                atol=1e-12,
+            )
+
+    def test_synthetic_generators_emit_unique_coordinates(self):
+        for tensor in (
+            random_sparse_tensor((6, 5, 4), 300, seed=1),
+            power_law_sparse_tensor((6, 5, 4), 300, exponents=0.8, seed=1),
+            make_dataset("netflix", scale=2e-4, seed=1),
+        ):
+            keys = tensor.linear_indices()
+            assert len(np.unique(keys)) == tensor.nnz

@@ -18,6 +18,7 @@ from repro.core import (
 from repro.core.trsvd import lanczos_svd
 from repro.distributed import build_plans
 from repro.engine.dimtree import DimensionTree
+from repro.sparse import CSFTensor, csf_ttmc_matricized
 from repro.partition import (
     Hypergraph,
     connectivity_cutsize,
@@ -183,6 +184,50 @@ class TestTTMcProperties:
         assert sym.rowptr[-1] == tensor.nnz
         assert np.all(np.diff(sym.rowptr) >= 1) or sym.num_rows == 0
         assert sym.row_sizes().sum() == tensor.nnz
+
+
+class TestCSFProperties:
+    """The CSF tree is a lossless re-encoding: round-trips exactly and its
+    TTMc agrees with the COO kernel for every mode and mode ordering."""
+
+    @SETTINGS
+    @given(sparse_tensors(max_order=4, max_dim=10, max_nnz=50),
+           st.integers(0, 2**31 - 1))
+    def test_coo_csf_coo_roundtrip(self, tensor, seed):
+        rng = np.random.default_rng(seed)
+        mode_order = tuple(rng.permutation(tensor.order).tolist())
+        back = CSFTensor(tensor, mode_order=mode_order).to_coo()
+        assert back.shape == tensor.shape
+        assert back.nnz == tensor.nnz
+        # No arithmetic happens, so the round-trip is bit-exact.
+        assert back.allclose(tensor, rtol=0.0, atol=0.0)
+
+    @SETTINGS
+    @given(sparse_tensors(max_order=4, max_dim=10, max_nnz=50),
+           st.integers(0, 2**31 - 1))
+    def test_ttmc_parity_every_mode(self, tensor, seed):
+        rng = np.random.default_rng(seed)
+        mode_order = tuple(rng.permutation(tensor.order).tolist())
+        csf = CSFTensor(tensor, mode_order=mode_order)
+        factors = [
+            rng.standard_normal((s, int(rng.integers(1, min(3, s) + 1))))
+            for s in tensor.shape
+        ]
+        for mode in range(tensor.order):
+            expected = ttmc_matricized(tensor, factors, mode)
+            result = csf_ttmc_matricized(csf, factors, mode)
+            assert result.shape == expected.shape
+            assert np.allclose(result, expected, atol=1e-10)
+
+    @SETTINGS
+    @given(sparse_tensors(max_order=4, max_dim=10, max_nnz=50))
+    def test_fiber_counts_monotone_and_conservative(self, tensor):
+        csf = CSFTensor(tensor)
+        sizes = [csf.num_fibers(level) for level in range(csf.order)]
+        assert sizes[-1] == tensor.nnz
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+        for level in range(csf.order - 1):
+            assert csf.fptr[level][-1] == sizes[level + 1]
 
 
 class TestLanczosProperties:
