@@ -31,7 +31,9 @@ def sweep_width(tensor, rank: int) -> int:
     return kron_row_length([rank] * (tensor.order - 1))
 
 
-def per_mode_sweep(tensor, factors, symbolic, pool, rank: int) -> None:
+def per_mode_sweep(
+    tensor, factors, symbolic, pool, rank: int, kernel: str = "numpy"
+) -> None:
     """Per-mode COO TTMc of every mode (the paper's Algorithm 2 baseline)."""
     width = sweep_width(tensor, rank)
     for mode in range(tensor.order):
@@ -39,7 +41,7 @@ def per_mode_sweep(tensor, factors, symbolic, pool, rank: int) -> None:
                         tag=f"out-{mode}")
         ttmc_matricized(
             tensor, factors, mode,
-            symbolic=symbolic[mode], out=out, workspace=pool,
+            symbolic=symbolic[mode], out=out, workspace=pool, kernel=kernel,
         )
 
 
@@ -53,7 +55,9 @@ def dimtree_sweep(tensor, factors, tree, pool, rank: int) -> None:
         tree.invalidate_factor(mode)
 
 
-def csf_sweep(tensor, factors, trees, pool, rank: int) -> None:
+def csf_sweep(
+    tensor, factors, trees, pool, rank: int, kernel: str = "numpy"
+) -> None:
     """Fiber-vectorized sweep over a :class:`~repro.sparse.CSFTensorSet`."""
     width = sweep_width(tensor, rank)
     for mode in range(tensor.order):
@@ -61,4 +65,5 @@ def csf_sweep(tensor, factors, trees, pool, rank: int) -> None:
                         tag=f"out-{mode}")
         csf_ttmc_matricized(
             trees.tree_for(mode), factors, mode, out=out, workspace=pool,
+            kernel=kernel,
         )

@@ -40,6 +40,7 @@ TRSVD_METHODS = ("lanczos", "randomized", "gram", "dense")
 TTMC_STRATEGIES = ("per-mode", "dimtree")
 EXECUTIONS = ("sequential", "thread", "process")
 TENSOR_FORMATS = ("coo", "csf")
+KERNELS = ("numpy", "numba")
 VALIDATION_CONTEXTS = ("single-node", "distributed")
 
 
@@ -77,7 +78,16 @@ class HOOIOptions:
     ``dtype`` / distributed grain, but *not* with
     ``ttmc_strategy="dimtree"`` (two competing TTMc strategies — pick one)
     nor, yet, with ``execution="process"`` (the CSF level arrays are not
-    exposed through the shared-memory worker pool).  On the distributed
+    exposed through the shared-memory worker pool).
+    ``kernel`` selects the *implementation tier* of the TTMc inner loops:
+    ``"numpy"`` (default — the vectorized kernels) or ``"numba"`` (fused,
+    JIT-compiled loop bodies, :mod:`repro.kernels` — same numerics, one
+    pass per output row instead of gather/kron/reduceat temporaries).  The
+    numba tier requires the numba package and composes with both tensor
+    formats, every execution model and the distributed grains (each rank /
+    worker runs the compiled loops on its local rows), but not with
+    ``ttmc_strategy="dimtree"`` (the dimension tree's subset-fiber kernels
+    have no compiled implementation yet).  On the distributed
     driver every rank runs the options locally (hybrid MPI+threads ranks,
     rank-local dimension trees or CSF trees); what composes per context is
     defined by :meth:`validate` and specified executable-y by
@@ -97,6 +107,7 @@ class HOOIOptions:
     execution: str = "sequential"
     num_workers: int = 1
     tensor_format: str = "coo"
+    kernel: str = "numpy"
 
     def validate(self, context: str = "single-node") -> "HOOIOptions":
         """Check the option values *and* their composition for a driver context.
@@ -167,14 +178,23 @@ class HOOIOptions:
                 f"unknown tensor_format {tensor_format!r}: expected one of "
                 f"{TENSOR_FORMATS}"
             )
+        kernel = self.kernel or "numpy"
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}: expected one of {KERNELS}"
+            )
         if tensor_format == "csf":
             if strategy == "dimtree":
                 raise ValueError(
                     "tensor_format='csf' does not compose with "
-                    "ttmc_strategy='dimtree': both replace the TTMc "
-                    "evaluation strategy wholesale — pick one (CSF "
-                    "fiber-segment sweeps, or the memoized dimension tree "
-                    "over COO)"
+                    "ttmc_strategy='dimtree' yet: a dimension tree built "
+                    "over CSF subtrees (SPLATT-style) is still an open "
+                    "ROADMAP item, so the two TTMc strategies cannot be "
+                    "combined — run csf with ttmc_strategy='per-mode' (its "
+                    "rooted fiber trees already share partial products "
+                    "within each sweep), and for faster CSF sweeps use the "
+                    "compiled kernel tier instead (kernel='numba', README "
+                    "'Choosing a kernel tier')"
                 )
             if execution == "process":
                 raise ValueError(
@@ -184,6 +204,21 @@ class HOOIOptions:
                     "execution='thread' for parallel CSF sweeps, or "
                     "tensor_format='coo' with the process backend"
                 )
+        if kernel == "numba":
+            if strategy == "dimtree":
+                raise ValueError(
+                    "kernel='numba' does not compose with "
+                    "ttmc_strategy='dimtree': the dimension tree's "
+                    "subset-fiber kernels have no compiled implementation "
+                    "yet — use kernel='numpy' with the dimtree strategy, or "
+                    "the numba tier with ttmc_strategy='per-mode' (either "
+                    "tensor format)"
+                )
+            # Import here: repro.kernels is a leaf package, but keeping core
+            # importable without it costs nothing.
+            from repro.kernels import require_kernel
+
+            require_kernel(kernel)
 
         if context == "distributed":
             if self.trsvd_method != "lanczos":

@@ -167,6 +167,23 @@ def _selected_positions(
     return positions, row_of_nnz
 
 
+def _compiled_factor_args(
+    tensor: SparseTensor,
+    factors: Sequence[Optional[np.ndarray]],
+    mode: int,
+    dtype,
+    table,
+):
+    """Factor list + column map in the form the compiled COO kernel takes."""
+    cols = np.asarray(
+        [t for t in range(tensor.order) if t != mode], dtype=np.int64
+    )
+    arrays = [
+        np.ascontiguousarray(np.asarray(factors[t], dtype=dtype)) for t in cols
+    ]
+    return table.make_factor_list(arrays), cols
+
+
 def ttmc_matricized(
     tensor: SparseTensor,
     factors: Sequence[Optional[np.ndarray]],
@@ -178,6 +195,7 @@ def ttmc_matricized(
     out: Optional[np.ndarray] = None,
     workspace=None,
     zero: str = "full",
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Mode-``n`` matricized TTMc result ``Y_(n) = (X ×_{-n} Uᵀ)_(n)``.
 
@@ -216,11 +234,18 @@ def ttmc_matricized(
         per-mode pooled buffers do between sweeps; ``"none"`` skips zeroing
         entirely (the caller takes full responsibility).  Ignored when
         ``out`` is ``None`` (a fresh buffer is allocated zeroed).
+    kernel:
+        Implementation tier of the inner loop: ``"numpy"`` (default — the
+        blocked gather/kron/``reduceat`` path above) or ``"numba"``
+        (:mod:`repro.kernels` — one fused pass per output row, no
+        full-width temporaries; ``block_nnz`` and ``workspace`` are unused
+        there).  Same numerics up to floating-point reassociation.
 
     Returns
     -------
     ndarray of shape ``(I_n, prod_{t != n} R_t)``.
     """
+    from repro.kernels import kernel_table
     mode = check_axis(mode, tensor.order)
     check_same_order(tensor.order, factors, "factors")
     if zero not in ("full", "touched", "none"):
@@ -249,6 +274,44 @@ def ttmc_matricized(
         symbolic = symbolic_ttmc(tensor, mode)
     elif symbolic.mode != mode or symbolic.nnz != tensor.nnz:
         raise ValueError("symbolic data does not match the tensor/mode")
+
+    table = kernel_table(kernel)
+    if table is not None:
+        # Compiled tier: one fused pass per output row.  Every selected row
+        # is zeroed and assigned inside the kernel, so only rows *requested
+        # but absent from J_n* need an explicit clear under "touched".
+        if rows is None:
+            target_rows = symbolic.rows
+            positions = symbolic.perm
+            rowptr = symbolic.rowptr
+        else:
+            rows_arr = np.asarray(rows, dtype=np.int64)
+            present = np.isin(rows_arr, symbolic.rows)
+            if zero == "touched" and not present.all():
+                out[rows_arr[~present]] = 0.0
+            sel = np.flatnonzero(np.isin(symbolic.rows, rows_arr))
+            counts = symbolic.rowptr[sel + 1] - symbolic.rowptr[sel]
+            positions = gather_ranges(
+                symbolic.perm, symbolic.rowptr[sel], counts
+            )
+            rowptr = np.zeros(sel.shape[0] + 1, dtype=np.int64)
+            np.cumsum(counts, out=rowptr[1:])
+            target_rows = symbolic.rows[sel]
+        if target_rows.shape[0]:
+            factor_list, cols = _compiled_factor_args(
+                tensor, factors, mode, dtype, table
+            )
+            table.coo_row_block_ttmc(
+                tensor.indices,
+                tensor.values,
+                factor_list,
+                cols,
+                np.ascontiguousarray(rowptr, dtype=np.int64),
+                np.ascontiguousarray(positions, dtype=np.int64),
+                np.ascontiguousarray(target_rows, dtype=np.int64),
+                out,
+            )
+        return out
 
     if zero == "touched":
         touched = symbolic.rows if rows is None else np.asarray(rows, dtype=np.int64)

@@ -54,6 +54,7 @@ __all__ = [
     "ProcessBackend",
     "CSFBackend",
     "ThreadedCSFBackend",
+    "engine_kernel",
     "trsvd_kwargs",
     "parallel_symbolic",
     "symbolic_row_positions",
@@ -88,6 +89,17 @@ def gather_present_rows(
     if not present.all():
         out[~present] = 0
     return out
+
+
+def engine_kernel(eng) -> str:
+    """The engine's configured kernel tier (``"numpy"`` when unset).
+
+    All backends route their numeric TTMc calls through this accessor, so
+    the ``kernel`` axis composes with every execution model without any
+    backend growing a constructor knob — validation already happened in
+    :meth:`HOOIOptions.validate`.
+    """
+    return getattr(eng.options, "kernel", "numpy")
 
 
 def trsvd_kwargs(options) -> dict:
@@ -212,6 +224,7 @@ class ExecutionBackend:
             # _pooled_out guarantees rows outside J_n are zero, so only the
             # touched rows need clearing between sweeps.
             zero="touched",
+            kernel=engine_kernel(eng),
         )
 
     def compute_ttmc_rows(self, eng, mode: int, rows: np.ndarray) -> np.ndarray:
@@ -235,6 +248,7 @@ class ExecutionBackend:
             self.symbolic[mode],
             symbolic_row_positions(self.symbolic[mode], rows),
             block_nnz=eng.options.block_nnz,
+            kernel=engine_kernel(eng),
         )
 
     def update_factor(
@@ -320,6 +334,7 @@ class ThreadedBackend(ExecutionBackend):
             # Every J_n row is assigned and _pooled_out keeps the rest zero,
             # so no zeroing pass is needed at all.
             zero="none",
+            kernel=engine_kernel(eng),
         )
 
     def compute_ttmc_rows(self, eng, mode: int, rows: np.ndarray) -> np.ndarray:
@@ -333,6 +348,7 @@ class ThreadedBackend(ExecutionBackend):
             symbolic_row_positions(self.symbolic[mode], rows),
             config=self.config,
             block_nnz=eng.options.block_nnz,
+            kernel=engine_kernel(eng),
         )
 
 
@@ -394,6 +410,7 @@ class CSFBackend(SequentialBackend):
             config=self._ttmc_config(),
             # Every J_n row is assigned and _pooled_out keeps the rest zero.
             zero="none",
+            kernel=engine_kernel(eng),
         )
 
     def compute_ttmc_rows(self, eng, mode: int, rows: np.ndarray) -> np.ndarray:
@@ -413,9 +430,15 @@ class CSFBackend(SequentialBackend):
             mode,
             workspace=eng.workspace,
             config=self._ttmc_config(),
+            kernel=engine_kernel(eng),
         )
         rows = np.asarray(rows, dtype=np.int64)
-        out = np.empty((rows.shape[0], block.shape[1]), dtype=block.dtype)
+        # The gather destination is pooled like the sweep's own buffers, so
+        # steady-state rank-local sweeps stop allocating entirely.
+        out = eng.workspace.take(
+            (rows.shape[0], block.shape[1]), block.dtype,
+            tag=f"csf-rows-out-{mode}",
+        )
         return gather_present_rows(all_rows, block, rows, out)
 
 
@@ -485,6 +508,7 @@ class ProcessBackend(SequentialBackend):
             eng.dtype,
             config=self.config,
             block_nnz=eng.options.block_nnz,
+            kernel=engine_kernel(eng),
         )
 
     def compute_ttmc(self, eng, mode: int) -> np.ndarray:

@@ -612,8 +612,13 @@ def resolve_ttmc_backend(options, config=None):
     backends (:class:`~repro.engine.backend.CSFBackend` /
     :class:`~repro.engine.backend.ThreadedCSFBackend`); it composes with
     sequential and threaded execution but replaces the TTMc strategy, so
-    ``validate`` rejects it with ``dimtree`` or ``process``.  Option values
-    and composition are checked by
+    ``validate`` rejects it with ``dimtree`` or ``process``.  The ``kernel``
+    axis needs no routing of its own: every resolved backend reads
+    ``options.kernel`` per TTMc call
+    (:func:`~repro.engine.backend.engine_kernel`), and the ``validate`` call
+    here rejects unavailable or non-composing tiers *before* any backend is
+    built — a ``kernel="numba"`` request without numba fails at resolution,
+    not mid-sweep.  Option values and composition are checked by
     :meth:`~repro.core.hooi.HOOIOptions.validate` (single-node context —
     the distributed driver applies its stricter composition rules before
     resolving its rank-local backends).

@@ -1,0 +1,140 @@
+"""Fused CSF TTMc loop bodies for the compiled kernel tier.
+
+The NumPy CSF kernels (:mod:`repro.sparse.csf_ttmc`) evaluate each tree
+level as *gather → batched Kronecker → segment reduction*: three full passes
+over a ``(nodes × width)`` temporary per level, with the ``np.add.reduceat``
+pass reading back the entire Kronecker buffer it just wrote.  The functions
+here are the same level sweeps written as explicit fiber-extent loops so a
+JIT can fuse them: each output row is produced in **one pass** — factor rows
+gathered, multiplied into the child's partial product and accumulated into
+the parent's row without materializing the per-node contribution matrix.
+
+Every function is written in the njit-compatible subset of Python/NumPy
+(scalar loops, no fancy indexing, no allocation besides the caller-provided
+buffers) and is valid *interpreted* Python too: the registry
+(:mod:`repro.kernels.registry`) compiles them with
+``numba.njit(cache=True, nogil=True)`` when numba is importable and can fall
+back to the interpreted bodies for testing (``REPRO_KERNEL_FORCE_PYTHON``).
+``prange`` degrades to ``range`` both in the interpreter and under
+``parallel=False``; the loops over parents/groups are row-disjoint, so the
+parallel flag is purely a scheduling choice.
+
+Column conventions match :func:`repro.core.kron.batch_kron_rows`: the
+*first* operand varies fastest.  The pullup kron is ``[below, factor]``
+(below fastest), the pushdown kron is ``[factor, above]`` (factor fastest),
+exactly as the NumPy path composes them — the compiled tier only
+reassociates floating-point sums, never reorders columns.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import prange
+except ImportError:  # interpreted fallback: prange behaves like range
+    prange = range
+
+__all__ = [
+    "csf_pullup_level",
+    "csf_target_accumulate",
+    "csf_pushdown_level",
+    "csf_pushdown_expand",
+]
+
+
+def csf_pullup_level(below, factor, fids, fptr, lo, parent_lo, parent_hi, out):
+    """One pullup level, fused: gather + Kronecker + extent accumulation.
+
+    ``below`` holds the partial products of the child level's nodes
+    ``[lo, lo + below.shape[0])``; ``fids``/``fptr`` are the child level's
+    ``csf.fids[level]`` / ``csf.fptr[level - 1]`` arrays.  Row ``p`` of
+    ``out`` (one per parent node in ``[parent_lo, parent_hi)``) receives
+
+        ``Σ_{c ∈ children(p)} kron([below[c - lo], factor[fids[c]]])``
+
+    with ``below`` varying fastest — the same numbers the NumPy path gets
+    from ``batch_kron_rows`` + ``np.add.reduceat``, without the
+    ``(children × width)`` contribution temporary.
+    """
+    width_below = below.shape[1]
+    rank = factor.shape[1]
+    for p in prange(parent_hi - parent_lo):
+        row = out[p]
+        for j in range(width_below * rank):
+            row[j] = 0.0
+        for c in range(fptr[parent_lo + p], fptr[parent_lo + p + 1]):
+            frow = factor[fids[c]]
+            brow = below[c - lo]
+            for j in range(rank):
+                base = j * width_below
+                fj = frow[j]
+                for i in range(width_below):
+                    row[base + i] += fj * brow[i]
+    return out
+
+
+def csf_target_accumulate(below, above, perm, boundaries, total, out):
+    """Deep-target assembly: per-node pullup ⊗ pushdown, summed by row group.
+
+    ``perm``/``boundaries`` come from ``CSFTensor.target_grouping``: group
+    ``g`` covers permuted positions ``boundaries[g]:boundaries[g + 1]``
+    (``total`` closes the last group).  Row ``g`` of ``out`` receives
+
+        ``Σ_{k ∈ group g} kron([below[perm[k]], above[perm[k]]])``
+
+    with ``below`` varying fastest — fusing the NumPy path's full-width
+    ``batch_kron_rows`` buffer and its ``np.add.reduceat`` into one pass.
+    """
+    width_below = below.shape[1]
+    width_above = above.shape[1]
+    for g in prange(boundaries.shape[0]):
+        start = boundaries[g]
+        stop = total if g + 1 == boundaries.shape[0] else boundaries[g + 1]
+        row = out[g]
+        for j in range(width_below * width_above):
+            row[j] = 0.0
+        for k in range(start, stop):
+            node = perm[k]
+            brow = below[node]
+            arow = above[node]
+            for j in range(width_above):
+                base = j * width_below
+                aj = arow[j]
+                for i in range(width_below):
+                    row[base + i] += aj * brow[i]
+    return out
+
+
+def csf_pushdown_level(above, factor, fids, fptr, out):
+    """One pushdown level, fused: parent expansion + Kronecker refinement.
+
+    ``above`` holds the ancestor products of the parent level's nodes (full
+    level, one row per parent); child ``c`` of parent ``p`` receives
+    ``kron([factor[fids[c]], above[p]])`` with the *factor* row varying
+    fastest — the NumPy path's ``np.repeat`` + ``batch_kron_rows`` pair in
+    one pass, without the expanded parent temporary.
+    """
+    rank = factor.shape[1]
+    width_above = above.shape[1]
+    for p in prange(above.shape[0]):
+        arow = above[p]
+        for c in range(fptr[p], fptr[p + 1]):
+            frow = factor[fids[c]]
+            crow = out[c]
+            for j in range(width_above):
+                base = j * rank
+                aj = arow[j]
+                for i in range(rank):
+                    crow[base + i] = aj * frow[i]
+    return out
+
+
+def csf_pushdown_expand(above, fptr, out):
+    """Final pushdown expansion: copy each parent row to all its children."""
+    width = above.shape[1]
+    for p in prange(above.shape[0]):
+        arow = above[p]
+        for c in range(fptr[p], fptr[p + 1]):
+            crow = out[c]
+            for j in range(width):
+                crow[j] = arow[j]
+    return out

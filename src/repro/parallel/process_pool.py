@@ -104,6 +104,9 @@ class _WorkerState:
         self.shape = tuple(meta["shape"])
         self.dtype = np.dtype(meta["dtype"])
         self.block_nnz = meta["block_nnz"]
+        # Workers JIT-compile lazily on first task (numba's cache=True makes
+        # every worker after the first a disk-cache hit).
+        self.kernel = meta.get("kernel", "numpy")
         order = len(self.shape)
         self.factors: List[np.ndarray] = [view[f"factor{n}"] for n in range(order)]
         self.strategy = meta["strategy"]
@@ -154,6 +157,7 @@ class _WorkerState:
             symbolic,
             np.arange(start, stop, dtype=np.int64),
             block_nnz=self.block_nnz,
+            kernel=self.kernel,
         )
         self.outs[mode][symbolic.rows[start:stop]] = block
 
@@ -258,8 +262,15 @@ class HOOIProcessPool:
         *,
         config: Optional[ProcessConfig] = None,
         block_nnz: Optional[int] = None,
+        kernel: str = "numpy",
     ) -> "HOOIProcessPool":
-        """Pool executing the per-mode row-parallel TTMc (Algorithm 3)."""
+        """Pool executing the per-mode row-parallel TTMc (Algorithm 3).
+
+        ``kernel`` selects the inner-loop tier each worker runs
+        (``"numpy"`` or the compiled ``"numba"`` loops); it rides along in
+        the pool metadata, so workers resolve their own dispatch table after
+        attaching shared memory.
+        """
         config = config or ProcessConfig()
         dtype = np.dtype(dtype)
         ranks = [int(r) for r in ranks]
@@ -295,6 +306,7 @@ class HOOIProcessPool:
                 "ranks": tuple(ranks),
                 "dtype": dtype.str,
                 "block_nnz": block_nnz,
+                "kernel": kernel,
             }
             return cls(
                 arena=arena, meta=meta, mode_rows=mode_rows,

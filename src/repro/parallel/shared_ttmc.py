@@ -33,14 +33,21 @@ def ttmc_row_block(
     row_positions: np.ndarray,
     *,
     block_nnz: Optional[int] = None,
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Compute a compact block of TTMc rows.
 
     ``row_positions`` indexes into ``symbolic.rows`` (i.e. positions of
     non-empty rows, not tensor indices); the result has shape
     ``(len(row_positions), prod R_t)`` with row ``p`` holding
-    ``Y_(n)(symbolic.rows[row_positions[p]], :)``.
+    ``Y_(n)(symbolic.rows[row_positions[p]], :)``.  ``kernel`` selects the
+    inner-loop tier (``"numpy"`` or the fused compiled ``"numba"`` loops of
+    :mod:`repro.kernels`); either way each output row is written by exactly
+    this call — the lock-free property the thread / process / distributed
+    layers compose over is untouched.
     """
+    from repro.kernels import kernel_table
+
     mode = check_axis(mode, tensor.order)
     check_same_order(tensor.order, factors, "factors")
     row_positions = np.asarray(row_positions, dtype=np.int64)
@@ -55,6 +62,28 @@ def ttmc_row_block(
 
     counts = symbolic.rowptr[row_positions + 1] - symbolic.rowptr[row_positions]
     positions = gather_ranges(symbolic.perm, symbolic.rowptr[row_positions], counts)
+
+    table = kernel_table(kernel)
+    if table is not None:
+        from repro.core.ttmc import _compiled_factor_args
+
+        rowptr = np.zeros(row_positions.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=rowptr[1:])
+        factor_list, cols = _compiled_factor_args(
+            tensor, factors, mode, dtype, table
+        )
+        table.coo_row_block_ttmc(
+            tensor.indices,
+            tensor.values,
+            factor_list,
+            cols,
+            rowptr,
+            np.ascontiguousarray(positions, dtype=np.int64),
+            np.arange(row_positions.shape[0], dtype=np.int64),
+            out,
+        )
+        return out
+
     # local (block-relative) output row of every gathered nonzero
     local_rows = np.repeat(np.arange(row_positions.shape[0], dtype=np.int64), counts)
     if positions.shape[0] == 0:
@@ -92,6 +121,7 @@ def parallel_ttmc_row_block(
     *,
     config: Optional[ParallelConfig] = None,
     block_nnz: Optional[int] = None,
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Thread-parallel :func:`ttmc_row_block` (same contract, chunked rows).
 
@@ -122,6 +152,7 @@ def parallel_ttmc_row_block(
             symbolic,
             row_positions[start:stop],
             block_nnz=block_nnz,
+            kernel=kernel,
         )
 
     parallel_for(body, row_positions.shape[0], config)
@@ -138,6 +169,7 @@ def parallel_ttmc_matricized(
     out: Optional[np.ndarray] = None,
     block_nnz: Optional[int] = None,
     zero: str = "full",
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Shared-memory parallel ``Y_(n) = (X ×_{-n} Uᵀ)_(n)``.
 
@@ -181,7 +213,8 @@ def parallel_ttmc_matricized(
     def body(start: int, stop: int) -> None:
         row_positions = np.arange(start, stop, dtype=np.int64)
         block = ttmc_row_block(
-            tensor, factors, mode, symbolic, row_positions, block_nnz=block_nnz
+            tensor, factors, mode, symbolic, row_positions,
+            block_nnz=block_nnz, kernel=kernel,
         )
         out[symbolic.rows[start:stop]] = block
 

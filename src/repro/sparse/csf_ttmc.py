@@ -79,6 +79,26 @@ def _level_ranges(csf: CSFTensor, start: int, stop: int) -> List[Tuple[int, int]
     return ranges
 
 
+def _leaf_values(
+    csf: CSFTensor, lo: int, hi: int, dtype: np.dtype, workspace
+) -> np.ndarray:
+    """The ``(hi - lo, 1)`` leaf-level partial products (the values).
+
+    When the tree's values already have the compute dtype this is a zero-copy
+    view; a dtype-policy cast (float32 engine over float64 values) draws its
+    destination from ``workspace`` so steady-state sweeps do not reallocate
+    the cast buffer every call.
+    """
+    values = csf.values[lo:hi]
+    if values.dtype == dtype:
+        return values.reshape(-1, 1)
+    if workspace is None:
+        return np.ascontiguousarray(values, dtype=dtype).reshape(-1, 1)
+    below = workspace.take((hi - lo, 1), dtype, tag=f"{csf._token}-vals")
+    below[:, 0] = values
+    return below
+
+
 def _pullup(
     csf: CSFTensor,
     factor_arrays: Sequence[Optional[np.ndarray]],
@@ -86,35 +106,26 @@ def _pullup(
     target_level: int,
     ranges: Sequence[Tuple[int, int]],
     workspace,
+    table=None,
 ) -> np.ndarray:
     """Bottom-up partial products: one row per node at ``target_level``.
 
     Row ``p`` holds ``Σ_{z ∈ subtree(p)} vals[z] · kron(U rows of the levels
     below ``target_level``)`` with deeper levels varying fastest.  Buffers
     draw from ``workspace`` (tagged per tree/level, so repeated sweeps reuse
-    them); pass ``None`` from concurrent workers.
+    them); pass ``None`` from concurrent workers.  ``table`` (a
+    :class:`repro.kernels.KernelTable`) swaps each level's
+    gather/kron/``reduceat`` triple for the fused compiled walk over the
+    fiber extents — same numerics, no per-level contribution temporary.
     """
     lo, hi = ranges[csf.order - 1]
-    below = np.ascontiguousarray(
-        csf.values[lo:hi], dtype=dtype
-    ).reshape(-1, 1)
+    below = _leaf_values(csf, lo, hi, dtype, workspace)
     for level in range(csf.order - 1, target_level, -1):
         lo, hi = ranges[level]
         parent_lo, parent_hi = ranges[level - 1]
         mode_here = csf.mode_order[level]
-        factor_rows = factor_arrays[mode_here][csf.fids[level][lo:hi]]
-        width = below.shape[1] * factor_rows.shape[1]
-        scratch = (
-            workspace.take(
-                (hi - lo, width), dtype,
-                tag=f"{csf._token}-kron-{target_level}-{level}",
-            )
-            if workspace is not None
-            else None
-        )
-        # Deeper levels stay fastest: kron_rows([below, factor_rows]).
-        contrib = batch_kron_rows([below, factor_rows], out=scratch)
-        segments = csf.fptr[level - 1][parent_lo:parent_hi] - lo
+        factor = factor_arrays[mode_here]
+        width = below.shape[1] * factor.shape[1]
         reduced = (
             workspace.take(
                 (parent_hi - parent_lo, width), dtype,
@@ -123,7 +134,25 @@ def _pullup(
             if workspace is not None
             else np.empty((parent_hi - parent_lo, width), dtype=dtype)
         )
-        np.add.reduceat(contrib, segments, axis=0, out=reduced)
+        if table is not None:
+            table.csf_pullup_level(
+                below, factor, csf.fids[level], csf.fptr[level - 1],
+                lo, parent_lo, parent_hi, reduced,
+            )
+        else:
+            factor_rows = factor[csf.fids[level][lo:hi]]
+            scratch = (
+                workspace.take(
+                    (hi - lo, width), dtype,
+                    tag=f"{csf._token}-kron-{target_level}-{level}",
+                )
+                if workspace is not None
+                else None
+            )
+            # Deeper levels stay fastest: kron_rows([below, factor_rows]).
+            contrib = batch_kron_rows([below, factor_rows], out=scratch)
+            segments = csf.fptr[level - 1][parent_lo:parent_hi] - lo
+            np.add.reduceat(contrib, segments, axis=0, out=reduced)
         below = reduced
     return below
 
@@ -132,19 +161,55 @@ def _pushdown(
     csf: CSFTensor,
     factor_arrays: Sequence[Optional[np.ndarray]],
     target_level: int,
+    workspace=None,
+    table=None,
 ) -> np.ndarray:
     """Top-down ancestor products: one row per node at ``target_level``.
 
     Row ``p`` holds ``kron(U rows of p's ancestors at levels
-    0..target_level−1)`` with deeper levels varying fastest.
+    0..target_level−1)`` with deeper levels varying fastest.  ``table``
+    fuses each level's parent expansion (``np.repeat``) and Kronecker
+    refinement into one compiled pass; its per-level outputs draw from
+    ``workspace`` like the pullup buffers do.
     """
-    above = factor_arrays[csf.mode_order[0]][csf.fids[0]]
+    root_factor = factor_arrays[csf.mode_order[0]]
+    dtype = root_factor.dtype
+    if workspace is not None:
+        above = workspace.take(
+            (csf.num_fibers(0), root_factor.shape[1]), dtype,
+            tag=f"{csf._token}-above-{target_level}-0",
+        )
+        np.take(root_factor, csf.fids[0], axis=0, out=above)
+    else:
+        above = root_factor[csf.fids[0]]
     for level in range(1, target_level + 1):
-        above = np.repeat(above, np.diff(csf.fptr[level - 1]), axis=0)
-        if level < target_level:
-            mode_here = csf.mode_order[level]
-            factor_rows = factor_arrays[mode_here][csf.fids[level]]
-            above = batch_kron_rows([factor_rows, above])
+        if table is not None:
+            refine = level < target_level
+            width = above.shape[1] * (
+                factor_arrays[csf.mode_order[level]].shape[1] if refine else 1
+            )
+            expanded = (
+                workspace.take(
+                    (csf.num_fibers(level), width), dtype,
+                    tag=f"{csf._token}-above-{target_level}-{level}",
+                )
+                if workspace is not None
+                else np.empty((csf.num_fibers(level), width), dtype=dtype)
+            )
+            if refine:
+                table.csf_pushdown_level(
+                    above, factor_arrays[csf.mode_order[level]],
+                    csf.fids[level], csf.fptr[level - 1], expanded,
+                )
+            else:
+                table.csf_pushdown_expand(above, csf.fptr[level - 1], expanded)
+            above = expanded
+        else:
+            above = np.repeat(above, np.diff(csf.fptr[level - 1]), axis=0)
+            if level < target_level:
+                mode_here = csf.mode_order[level]
+                factor_rows = factor_arrays[mode_here][csf.fids[level]]
+                above = batch_kron_rows([factor_rows, above])
     return above
 
 
@@ -212,6 +277,7 @@ def csf_ttmc_compact(
     *,
     workspace=None,
     config=None,
+    kernel: str = "numpy",
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Compact mode-``n`` TTMc: ``(rows, block)`` over the non-empty rows.
 
@@ -229,7 +295,15 @@ def csf_ttmc_compact(
     single-threaded pushdown/pullup pass (their nodes do not partition by
     output row), so a shared tree still composes with the threaded driver —
     it just serves deep modes sequentially.
+
+    ``kernel`` selects the inner-loop tier: ``"numpy"`` is the vectorized
+    gather/kron/``reduceat`` pipeline documented above, ``"numba"`` walks the
+    same fiber extents with the fused compiled loops of
+    :mod:`repro.kernels` — one pass per level, no contribution temporaries,
+    identical numerics (the summation order per output entry is unchanged).
     """
+    from repro.kernels import kernel_table
+
     mode = check_axis(mode, csf.order)
     check_same_order(csf.order, factors, "factors")
     widths = _factor_widths(factors, csf.shape, mode)
@@ -244,6 +318,7 @@ def csf_ttmc_compact(
         )
 
     factor_arrays = _cast_factors(csf, factors, mode, dtype)
+    table = kernel_table(kernel)
     num_roots = csf.num_fibers(0)
     use_threads = (
         config is not None
@@ -265,7 +340,7 @@ def csf_ttmc_compact(
             # Workers allocate privately: the pool is not thread-safe.
             slab = _pullup(
                 csf, factor_arrays, dtype, 0,
-                _level_ranges(csf, start, stop), None,
+                _level_ranges(csf, start, stop), None, table,
             )
             # The column permutation lands directly in the worker's output
             # slice; when the layouts agree, the slab is copied as-is.
@@ -286,13 +361,15 @@ def csf_ttmc_compact(
         )
 
     ranges = _level_ranges(csf, 0, num_roots)
-    below = _pullup(csf, factor_arrays, dtype, target_level, ranges, workspace)
+    below = _pullup(
+        csf, factor_arrays, dtype, target_level, ranges, workspace, table
+    )
     if target_level == 0:
         return csf.fids[0], _to_engine_columns(
             below, csf, factor_arrays, 0, out=_cols_out(num_roots)
         )
 
-    above = _pushdown(csf, factor_arrays, target_level)
+    above = _pushdown(csf, factor_arrays, target_level, workspace, table)
     perm, rows, boundaries = csf.target_grouping(target_level)
     # Group the narrow pullup/pushdown vectors by target index *before* the
     # full-width expansion: gathering two width-R^k blocks is much cheaper
@@ -300,15 +377,6 @@ def csf_ttmc_compact(
     # (the expanded node rows and the per-row sums) draw from the pool like
     # the pullup levels do, so deep-target sweeps also stop allocating once
     # the pool is warm.
-    scratch = (
-        workspace.take(
-            (perm.shape[0], width), dtype,
-            tag=f"{csf._token}-deep-kron-{target_level}",
-        )
-        if workspace is not None
-        else None
-    )
-    y_nodes = batch_kron_rows([below[perm], above[perm]], out=scratch)
     block = (
         workspace.take(
             (rows.shape[0], width), dtype,
@@ -317,7 +385,23 @@ def csf_ttmc_compact(
         if workspace is not None
         else np.empty((rows.shape[0], width), dtype=dtype)
     )
-    np.add.reduceat(y_nodes, boundaries, axis=0, out=block)
+    if table is not None:
+        # Fused gather + kron + segment-sum straight into the output block:
+        # the ∏R-wide per-node expansion never materializes.
+        table.csf_target_accumulate(
+            below, above, perm, boundaries, perm.shape[0], block
+        )
+    else:
+        scratch = (
+            workspace.take(
+                (perm.shape[0], width), dtype,
+                tag=f"{csf._token}-deep-kron-{target_level}",
+            )
+            if workspace is not None
+            else None
+        )
+        y_nodes = batch_kron_rows([below[perm], above[perm]], out=scratch)
+        np.add.reduceat(y_nodes, boundaries, axis=0, out=block)
     return rows, _to_engine_columns(
         block, csf, factor_arrays, target_level, out=_cols_out(rows.shape[0])
     )
@@ -332,6 +416,7 @@ def csf_ttmc_matricized(
     workspace=None,
     zero: str = "full",
     config=None,
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Mode-``n`` matricized TTMc ``Y_(n)`` served from a CSF tree.
 
@@ -341,12 +426,13 @@ def csf_ttmc_matricized(
     ``zero="none"`` suffices whenever the caller keeps the empty rows zero
     (the engine's pooled per-mode buffers do); ``"touched"`` behaves the
     same here, ``"full"`` (default) memsets the whole buffer first.
+    ``kernel`` is forwarded to :func:`csf_ttmc_compact`.
     """
     mode = check_axis(mode, csf.order)
     if zero not in ("full", "touched", "none"):
         raise ValueError(f"unknown zero policy {zero!r}")
     rows, block = csf_ttmc_compact(
-        csf, factors, mode, workspace=workspace, config=config
+        csf, factors, mode, workspace=workspace, config=config, kernel=kernel
     )
     n_rows = csf.shape[mode]
     width = block.shape[1]

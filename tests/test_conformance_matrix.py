@@ -8,6 +8,7 @@ One parametrized suite sweeps every point of
   × trsvd_method ∈ {lanczos, gram, randomized}
   × dtype ∈ {float32, float64}
   × tensor_format ∈ {coo, csf}
+  × kernel ∈ {numpy, numba}
 
 on one small planted low-rank tensor (well-separated spectrum, so factor
 parity is meaningful — on a near-degenerate spectrum individual singular
@@ -15,18 +16,25 @@ vectors rotate freely even though the fit agrees).
 
 *Supported* combinations assert 1e-10 fit **and** factor parity against the
 sequential float64 per-mode oracle of the same ``trsvd_method`` (float32
-within 1e-3); the execution / grain / strategy / format axes must never
-change the numbers.  *Unsupported* combinations assert :class:`ValueError`
-with an actionable message.  Two composition rules carve the matrix: the
-distributed grains support only the Lanczos TRSVD, and ``tensor_format=
-"csf"`` replaces the TTMc evaluation strategy, so it excludes
-``ttmc_strategy="dimtree"`` (and ``execution="process"``, asserted
-separately alongside the other process rejections).
+within 1e-3); the execution / grain / strategy / format / kernel axes must
+never change the numbers.  *Unsupported* combinations assert
+:class:`ValueError` with an actionable message.  Three composition rules
+carve the matrix: the distributed grains support only the Lanczos TRSVD,
+``tensor_format="csf"`` replaces the TTMc evaluation strategy, so it
+excludes ``ttmc_strategy="dimtree"`` (and ``execution="process"``, asserted
+separately alongside the other process rejections), and ``kernel="numba"``
+serves only the per-mode COO/CSF sweeps — the dimension tree's subset-fiber
+kernels have no compiled implementation.
 :meth:`repro.core.hooi.HOOIOptions.validate` is the single implementation of
 these rules; this file is their executable spec — extend both together when
 adding an option value (see CONTRIBUTING.md).
+
+Without numba installed, the numba column runs through the registry's
+interpreted-fallback hook (``REPRO_KERNEL_FORCE_PYTHON``) — the exact loop
+bodies numba would compile, so the parity contract is still exercised.
 """
 
+import os
 from itertools import product
 
 import numpy as np
@@ -35,6 +43,7 @@ import pytest
 from repro.core import HOOIOptions, hooi
 from repro.data import planted_lowrank_tensor
 from repro.distributed import distributed_hooi
+from repro.kernels import numba_available
 from repro.partition import make_partition
 
 SHAPE = (16, 12, 10)
@@ -48,36 +57,66 @@ STRATEGIES = ("per-mode", "dimtree")
 TRSVD_METHODS = ("lanczos", "gram", "randomized")
 DTYPES = ("float64", "float32")
 FORMATS = ("coo", "csf")
+KERNELS = ("numpy", "numba")
 
 #: Partitioning strategy realizing each distributed grain.
 GRAIN_PARTITION = {"coarse": "coarse-bl", "fine": "fine-rd"}
 
 
-def combo_supported(grain: str, strategy: str, trsvd_method: str, fmt: str) -> bool:
+def combo_supported(
+    grain: str, strategy: str, trsvd_method: str, fmt: str, kernel: str
+) -> bool:
     """The composition rule of the matrix (mirrors HOOIOptions.validate)."""
     if fmt == "csf" and strategy == "dimtree":
         return False  # two competing TTMc strategies — pick one
+    if kernel == "numba" and strategy == "dimtree":
+        return False  # no compiled subset-fiber kernels
     if grain == "single-node":
         return True
     return trsvd_method == "lanczos"  # only TRSVD with a distributed impl
 
 
-def unsupported_match(grain: str, strategy: str, trsvd_method: str, fmt: str) -> str:
+def unsupported_match(
+    grain: str, strategy: str, trsvd_method: str, fmt: str, kernel: str
+) -> str:
     """Substring the rejection message must contain (csf×dimtree fires first)."""
     if fmt == "csf" and strategy == "dimtree":
         return "dimtree"
+    if kernel == "numba" and strategy == "dimtree":
+        return "numba"
     return "lanczos"
 
 
 ALL_COMBOS = list(
-    product(GRAINS, EXECUTIONS, STRATEGIES, TRSVD_METHODS, DTYPES, FORMATS)
+    product(GRAINS, EXECUTIONS, STRATEGIES, TRSVD_METHODS, DTYPES, FORMATS, KERNELS)
 )
-SUPPORTED = [c for c in ALL_COMBOS if combo_supported(c[0], c[2], c[3], c[5])]
-UNSUPPORTED = [c for c in ALL_COMBOS if not combo_supported(c[0], c[2], c[3], c[5])]
+SUPPORTED = [c for c in ALL_COMBOS if combo_supported(c[0], c[2], c[3], c[5], c[6])]
+UNSUPPORTED = [
+    c for c in ALL_COMBOS if not combo_supported(c[0], c[2], c[3], c[5], c[6])
+]
 
 
 def combo_id(combo) -> str:
     return "-".join(combo)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _kernel_tier_fallback():
+    """Serve the numba column interpreted when numba is not installed.
+
+    The registry's ``REPRO_KERNEL_FORCE_PYTHON`` hook swaps the compiled
+    dispatchers for the identical interpreted loop bodies, so the kernel
+    axis of the matrix is exercised on every CI leg; with numba present the
+    hook stays off and the column really compiles.
+    """
+    if numba_available() or os.environ.get("REPRO_KERNEL_FORCE_PYTHON"):
+        yield
+        return
+    os.environ["REPRO_KERNEL_FORCE_PYTHON"] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_KERNEL_FORCE_PYTHON", None)
 
 
 @pytest.fixture(scope="module")
@@ -115,7 +154,9 @@ def oracles(tensor):
     }
 
 
-def build_options(execution, strategy, trsvd_method, dtype, fmt) -> HOOIOptions:
+def build_options(
+    execution, strategy, trsvd_method, dtype, fmt, kernel="numpy"
+) -> HOOIOptions:
     return HOOIOptions(
         max_iterations=ITERATIONS,
         init="random",
@@ -126,6 +167,7 @@ def build_options(execution, strategy, trsvd_method, dtype, fmt) -> HOOIOptions:
         trsvd_method=trsvd_method,
         dtype=dtype,
         tensor_format=fmt,
+        kernel=kernel,
     )
 
 
@@ -139,15 +181,17 @@ def run_combo(tensor, partitions, grain, options):
 
 class TestSupportedCombinations:
     @pytest.mark.parametrize(
-        "grain,execution,strategy,trsvd_method,dtype,fmt",
+        "grain,execution,strategy,trsvd_method,dtype,fmt,kernel",
         SUPPORTED,
         ids=[combo_id(c) for c in SUPPORTED],
     )
     def test_parity_with_sequential_oracle(
         self, tensor, partitions, oracles, grain, execution, strategy,
-        trsvd_method, dtype, fmt,
+        trsvd_method, dtype, fmt, kernel,
     ):
-        options = build_options(execution, strategy, trsvd_method, dtype, fmt)
+        options = build_options(
+            execution, strategy, trsvd_method, dtype, fmt, kernel
+        )
         fits, factors = run_combo(tensor, partitions, grain, options)
         oracle = oracles[trsvd_method]
         tol = 1e-10 if dtype == "float64" else 1e-3
@@ -160,18 +204,28 @@ class TestSupportedCombinations:
 
 class TestUnsupportedCombinations:
     @pytest.mark.parametrize(
-        "grain,execution,strategy,trsvd_method,dtype,fmt",
+        "grain,execution,strategy,trsvd_method,dtype,fmt,kernel",
         UNSUPPORTED,
         ids=[combo_id(c) for c in UNSUPPORTED],
     )
     def test_fails_fast_with_actionable_message(
         self, tensor, partitions, grain, execution, strategy, trsvd_method,
-        dtype, fmt,
+        dtype, fmt, kernel,
     ):
-        options = build_options(execution, strategy, trsvd_method, dtype, fmt)
-        match = unsupported_match(grain, strategy, trsvd_method, fmt)
+        options = build_options(
+            execution, strategy, trsvd_method, dtype, fmt, kernel
+        )
+        match = unsupported_match(grain, strategy, trsvd_method, fmt, kernel)
         with pytest.raises(ValueError, match=match):
             run_combo(tensor, partitions, grain, options)
+
+    def test_numba_without_numba_is_actionable(self, monkeypatch):
+        """kernel='numba' on a numba-less interpreter names the fix."""
+        monkeypatch.delenv("REPRO_KERNEL_FORCE_PYTHON", raising=False)
+        if numba_available():
+            pytest.skip("numba is installed; the availability error cannot fire")
+        with pytest.raises(ValueError, match="pip install numba"):
+            HOOIOptions(kernel="numba").validate()
 
     @pytest.mark.parametrize("grain", ("coarse", "fine"))
     def test_distributed_rejects_process_execution(
@@ -211,6 +265,7 @@ class TestUnknownOptionValues:
             ("execution", "gpu", "execution"),
             ("dtype", "float16", "dtype"),
             ("tensor_format", "parquet", "tensor_format"),
+            ("kernel", "fortran", "kernel"),
             ("num_workers", 0, "num_workers"),
             ("max_iterations", 0, "max_iterations"),
         ],
