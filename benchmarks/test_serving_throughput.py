@@ -1,0 +1,145 @@
+"""Benchmark: the persistent-pool service vs per-request pool spin-up.
+
+The serving acceptance gate (ISSUE 7): a stream of ≥20 small decomposition
+jobs through :class:`~repro.serving.DecompositionService` — one persistent
+worker crew, jobs batched onto shared pool generations — must complete at
+least ``REPRO_SERVING_SPEEDUP``× (default 1.5×) faster than the same jobs
+run as back-to-back ``hooi(execution="process")`` calls, each of which pays
+worker spawn, shared-arena attach and teardown on its own.
+
+The service's crew spawn and kernel warmup happen at ``start()`` and are
+deliberately *excluded* from the timed region — amortizing that one-time
+cost across requests is the subsystem's entire reason to exist — while the
+per-request baseline's spawns are *included*, because that is exactly what
+each stand-alone call pays.
+
+Both paths are also registered as pytest-benchmark kernels so the committed
+``BENCH_baseline.json`` tracks them and ``scripts/compare_bench.py`` gates
+regressions (the "Serving throughput" CI step runs the acceptance test by
+name before the aggregate comparison).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.core import HOOIOptions, hooi
+from repro.data import random_sparse_tensor
+from repro.serving import DecompositionService
+
+#: Number of jobs in the stream (the acceptance gate requires >= 20).
+NUM_JOBS = 20
+SHAPE = (25, 20, 15)
+NNZ = 300
+RANK = 4
+
+#: Worker-process count on BOTH sides of the comparison.  It must be >= 2:
+#: at 1 the drivers' process backend short-circuits to sequential execution
+#: and the baseline would measure no pool spin-up at all.
+NUM_WORKERS = 2
+
+#: Required service-over-spin-up throughput factor.
+EXPECTED_SPEEDUP = float(os.environ.get("REPRO_SERVING_SPEEDUP", "1.5"))
+
+JOB_OPTIONS = dict(
+    trsvd_method="gram", max_iterations=3, tolerance=0.0, seed=0
+)
+
+
+@pytest.fixture(scope="module")
+def tensors():
+    """Twenty distinct small tensors — distinct so the cache never hits."""
+    return [
+        random_sparse_tensor(SHAPE, NNZ, seed=100 + i)
+        for i in range(NUM_JOBS)
+    ]
+
+
+def run_per_request(tensors) -> None:
+    """The baseline: every job spawns (and reaps) its own worker pool."""
+    options = HOOIOptions(
+        execution="process", num_workers=NUM_WORKERS, **JOB_OPTIONS
+    )
+    for tensor in tensors:
+        hooi(tensor, RANK, options)
+
+
+def run_service(service, tensors) -> None:
+    """The service path: submit the whole stream, await every result."""
+
+    async def main():
+        handles = [
+            await service.submit(
+                tensor, RANK, execution="process", **JOB_OPTIONS
+            )
+            for tensor in tensors
+        ]
+        await asyncio.gather(*[h.result() for h in handles])
+
+    service._loop.run_until_complete(main())
+
+
+class _ServiceRunner:
+    """A started service bound to a private event loop for sync callers."""
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.service = DecompositionService(
+            num_workers=NUM_WORKERS, batch_max=8, cache_capacity=0,
+            warmup=True,
+        )
+        self.loop.run_until_complete(self.service.start())
+        # Expose the loop the way run_service expects it.
+        self.service._loop = self.loop
+
+    def run(self, tensors) -> None:
+        run_service(self.service, tensors)
+
+    def close(self) -> None:
+        self.loop.run_until_complete(self.service.aclose())
+        self.loop.close()
+
+
+def test_serving_beats_per_request_spinup(tensors):
+    """The acceptance gate: ≥1.5× throughput on a 20-job stream."""
+    runner = _ServiceRunner()
+    try:
+        runner.run(tensors)  # warm the path once (JIT-free, but fair)
+        start = time.perf_counter()
+        runner.run(tensors)
+        service_seconds = time.perf_counter() - start
+    finally:
+        runner.close()
+
+    run_per_request(tensors)  # warm equally
+    start = time.perf_counter()
+    run_per_request(tensors)
+    baseline_seconds = time.perf_counter() - start
+
+    speedup = baseline_seconds / service_seconds
+    assert speedup >= EXPECTED_SPEEDUP, (
+        f"persistent-pool service ran {NUM_JOBS} jobs in "
+        f"{service_seconds:.3f}s vs {baseline_seconds:.3f}s per-request "
+        f"spin-up — {speedup:.2f}x, below the required "
+        f"{EXPECTED_SPEEDUP:.2f}x"
+    )
+
+
+def test_stream_via_service(benchmark, tensors):
+    runner = _ServiceRunner()
+    try:
+        benchmark.pedantic(
+            runner.run, args=(tensors,), rounds=3, warmup_rounds=1
+        )
+    finally:
+        runner.close()
+
+
+def test_stream_per_request_pools(benchmark, tensors):
+    benchmark.pedantic(
+        run_per_request, args=(tensors,), rounds=3, warmup_rounds=1
+    )

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import HOOIOptions, hooi
+from repro import decompose
+from repro.core import HOOIOptions
 from repro.data import make_dataset
 from repro.distributed import (
     collect_partition_statistics,
-    distributed_hooi,
     estimate_iteration_time,
 )
 from repro.experiments.calibration import paper_ranks, scaled_machine
@@ -43,7 +43,7 @@ def main() -> None:
     print(f"decomposition ranks: {ranks}, simulated MPI ranks: {NUM_RANKS}\n")
 
     options = HOOIOptions(max_iterations=3, init="random", seed=0)
-    reference = hooi(tensor, ranks, options)
+    reference = decompose(tensor, ranks, options=options)
     print(f"sequential reference fit after {reference.iterations} iterations: "
           f"{reference.fit:.4f}\n")
 
@@ -51,7 +51,8 @@ def main() -> None:
           f"{'comm max (doubles)':>19s} {'comm avg':>9s} {'TTMc imbalance':>15s}")
     for strategy in STRATEGIES:
         partition = make_partition(tensor, NUM_RANKS, strategy, seed=0, ranks=ranks)
-        run = distributed_hooi(tensor, ranks, partition, options, machine=machine)
+        run = decompose(tensor, ranks, execution="distributed",
+                        partition=partition, machine=machine, options=options)
         agrees = np.allclose(run.fit_history, reference.fit_history, atol=1e-6)
         volumes = run.comm_volume_elements()
         stats = collect_partition_statistics(tensor, partition, ranks)

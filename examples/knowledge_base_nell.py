@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import HOOIOptions, hooi
+from repro import decompose
 from repro.data import make_dataset
 
 
@@ -39,10 +39,10 @@ def main() -> None:
     print(f"NELL analog: {tensor} (entity x relation x entity)")
 
     ranks = (10, 5, 10)
-    random_run = hooi(tensor, ranks,
-                      HOOIOptions(max_iterations=8, init="random", seed=0))
-    hosvd_run = hooi(tensor, ranks,
-                     HOOIOptions(max_iterations=8, init="hosvd", seed=0))
+    random_run = decompose(tensor, ranks,
+                           max_iterations=8, init="random", seed=0)
+    hosvd_run = decompose(tensor, ranks,
+                          max_iterations=8, init="hosvd", seed=0)
     print(f"\nfit with random init : {random_run.fit:.4f} "
           f"({random_run.iterations} iterations)")
     print(f"fit with HOSVD init  : {hosvd_run.fit:.4f} "

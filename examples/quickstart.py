@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import HOOIOptions, SparseTensor, hooi, tucker_fit
+from repro import SparseTensor, decompose, tucker_fit
+from repro.core import HOOIOptions
 from repro.parallel import ParallelConfig, shared_hooi
 
 
@@ -45,10 +46,11 @@ def main() -> None:
     print(f"toy tensor      : {toy}")
 
     # ------------------------------------------------------------------ #
-    # 2. Sequential HOOI (Algorithm 1 of the paper).
+    # 2. Sequential HOOI (Algorithm 1 of the paper), through the unified
+    #    decompose() facade — every option is a plain keyword.
     # ------------------------------------------------------------------ #
-    options = HOOIOptions(max_iterations=10, init="hosvd", tolerance=1e-6, seed=0)
-    result = hooi(observed, ranks=(4, 3, 2), options=options)
+    result = decompose(observed, (4, 3, 2),
+                       max_iterations=10, init="hosvd", tolerance=1e-6, seed=0)
     print(f"\nHOOI finished after {result.iterations} iterations "
           f"(converged: {result.converged})")
     print("fit per iteration:", [round(f, 4) for f in result.fit_history])
@@ -66,8 +68,11 @@ def main() -> None:
 
     # ------------------------------------------------------------------ #
     # 4. Shared-memory parallel HOOI (Algorithm 3): same numerics, threaded
-    #    TTMc over the symbolic update lists.
+    #    TTMc over the symbolic update lists.  (The low-level driver is used
+    #    here for its roofline report; `decompose(..., execution="thread")`
+    #    runs the same backend.)
     # ------------------------------------------------------------------ #
+    options = HOOIOptions(max_iterations=10, init="hosvd", tolerance=1e-6, seed=0)
     report = shared_hooi(
         observed, (4, 3, 2), options, config=ParallelConfig(num_threads=4)
     )
@@ -79,11 +84,10 @@ def main() -> None:
     # 4b. True multicore: the same row-parallel decomposition on worker
     #     processes with zero-copy shared memory (GIL-free numerics).
     # ------------------------------------------------------------------ #
-    process_options = HOOIOptions(
-        max_iterations=10, init="hosvd", tolerance=1e-6, seed=0,
-        execution="process", num_workers=4,
-    )
-    process_result = hooi(observed, (4, 3, 2), options=process_options)
+    process_result = decompose(observed, (4, 3, 2),
+                               execution="process", num_workers=4,
+                               max_iterations=10, init="hosvd",
+                               tolerance=1e-6, seed=0)
     print(f"process HOOI fit         : {process_result.fit:.4f} "
           "(4 worker processes, results identical to sequential)")
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines import cp_als
-from repro.core import HOOIOptions, SparseTensor, hooi
+from repro import SparseTensor, decompose
 from repro.data import make_dataset
 
 
@@ -63,7 +63,7 @@ def main() -> None:
     print(f"train nonzeros: {train.nnz},  held-out: {test.nnz}")
 
     ranks = (4, 8, 8, 8)
-    result = hooi(train, ranks, HOOIOptions(max_iterations=6, init="hosvd", seed=0))
+    result = decompose(train, ranks, max_iterations=6, init="hosvd", seed=0)
     tucker = result.decomposition
     print(f"\nTucker/HOOI: ranks {tucker.ranks}, fit {result.fit:.4f}, "
           f"{result.iterations} iterations")

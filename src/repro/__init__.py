@@ -19,11 +19,19 @@ The public API is re-exported from the subpackages:
 * :mod:`repro.distributed` — coarse- and fine-grain distributed HOOI,
   Algorithm 4, with the communication-avoiding distributed TRSVD.
 * :mod:`repro.baselines` — MET-style TTV-chain HOOI, CP-ALS, dense HOOI.
+* :mod:`repro.serving` — decomposition-as-a-service: an asyncio job engine
+  (queue, cache, cancellation, metrics) over a persistent worker-process
+  pool reused across requests.
 * :mod:`repro.data` — synthetic tensors (including analogs of the paper's
   four datasets) and FROSTT-style text IO.
 * :mod:`repro.experiments` — the per-table/figure reproduction harness.
+
+:func:`decompose` is the recommended entry point: one keyword-only call
+routing every execution model (``sequential`` / ``thread`` / ``process`` /
+``distributed``) with options expressed as plain serializable values.
 """
 
+from repro.api import decompose
 from repro.core import (
     HOOIOptions,
     HOOIResult,
@@ -33,6 +41,7 @@ from repro.core import (
     tucker_fit,
 )
 from repro.engine import HOOIEngine, WorkspacePool
+from repro.serving import DecompositionService
 
 __version__ = "1.0.0"
 
@@ -43,7 +52,9 @@ __all__ = [
     "HOOIResult",
     "HOOIEngine",
     "WorkspacePool",
+    "decompose",
     "hooi",
     "tucker_fit",
+    "DecompositionService",
     "__version__",
 ]

@@ -1,0 +1,134 @@
+"""The top-level decomposition facade: one serializable entry point.
+
+Every driver grown since PR 1 — :func:`repro.core.hooi.hooi` (sequential /
+thread / process execution through the engine), :func:`repro.parallel.
+shared_hooi.shared_hooi` (the Algorithm 3 driver with the node roofline
+report) and :func:`repro.distributed.dist_hooi.distributed_hooi` (the
+simulated-MPI Algorithm 4) — shares :class:`~repro.core.hooi.HOOIOptions`
+but exposes its own positional signature.  :func:`decompose` fronts all of
+them with one keyword-only signature whose knobs *are* the options fields,
+so a call is fully described by ``(tensor, rank, execution, options-dict)``
+— the same value-form contract the serving layer's job submissions use
+(:meth:`HOOIOptions.from_dict` / :meth:`HOOIOptions.options_fingerprint`).
+
+The driver functions remain the low-level API: reach for them when you need
+their extras (``shared_hooi``'s modelled-vs-measured report, the
+distributed driver's per-rank statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+from repro.core.hooi import EXECUTIONS, HOOIOptions, hooi
+
+__all__ = ["decompose", "DECOMPOSE_EXECUTIONS"]
+
+#: ``execution=`` values :func:`decompose` routes (the single-node engine
+#: values plus the simulated-MPI driver).
+DECOMPOSE_EXECUTIONS = EXECUTIONS + ("distributed",)
+
+
+def decompose(
+    tensor,
+    rank: Union[int, Sequence[int]],
+    *,
+    execution: str = "sequential",
+    partition=None,
+    machine=None,
+    options: Optional[Union[HOOIOptions, dict]] = None,
+    callback: Optional[Callable[[int, float], None]] = None,
+    workspace=None,
+    cancel_check: Optional[Callable[[], None]] = None,
+    **option_kwargs,
+):
+    """Tucker-decompose ``tensor`` at the given rank(s), one call for every driver.
+
+    Parameters
+    ----------
+    tensor:
+        The sparse input tensor (:class:`~repro.core.sparse_tensor.SparseTensor`).
+    rank:
+        Per-mode ranks ``R_1, ..., R_N`` (a scalar is broadcast).
+    execution:
+        ``"sequential"`` (default), ``"thread"``, ``"process"`` — the
+        single-node engine's execution axis — or ``"distributed"`` (the
+        simulated-MPI Algorithm 4 driver, which additionally needs
+        ``partition``).  For ``"distributed"``, any ``execution`` key inside
+        ``options`` / ``option_kwargs`` selects the *rank-local* execution
+        model (``"sequential"`` or ``"thread"`` for hybrid ranks ×
+        threads), mirroring :func:`~repro.distributed.dist_hooi.distributed_hooi`.
+    partition:
+        A :class:`~repro.distributed.plan.TensorPartition`; required by (and
+        only meaningful for) ``execution="distributed"``.
+    machine:
+        Optional :class:`~repro.simmpi.machine.MachineModel` for the
+        distributed driver's simulated clock.
+    options:
+        Base options as an :class:`HOOIOptions` or a plain dict (the wire
+        format); ``option_kwargs`` override individual fields on top of it.
+        Unknown keys are rejected with the field list
+        (:meth:`HOOIOptions.from_dict`).
+    callback / workspace / cancel_check:
+        Passed through to the underlying driver (``workspace`` and
+        ``cancel_check`` apply to the single-node engine only).
+    **option_kwargs:
+        Any :class:`HOOIOptions` field, e.g. ``trsvd_method="gram"``,
+        ``tensor_format="csf"``, ``num_workers=4``, ``dtype="float32"``.
+
+    Returns
+    -------
+    :class:`~repro.core.hooi.HOOIResult` for the single-node executions, a
+    :class:`~repro.distributed.dist_hooi.DistributedHOOIResult` (an
+    ``HOOIResult`` plus simulated times and per-rank statistics) for
+    ``execution="distributed"``.
+    """
+    if execution not in DECOMPOSE_EXECUTIONS:
+        raise ValueError(
+            f"unknown execution {execution!r}: decompose() routes one of "
+            f"{DECOMPOSE_EXECUTIONS} (single-node engine values plus "
+            "'distributed' for the simulated-MPI driver)"
+        )
+    if isinstance(options, HOOIOptions):
+        base = options.to_dict()
+    elif options is None:
+        base = {}
+    elif isinstance(options, dict):
+        base = dict(options)
+    else:
+        raise TypeError(
+            f"options must be an HOOIOptions or a dict, got "
+            f"{type(options).__name__}"
+        )
+    base.update(option_kwargs)
+
+    if execution == "distributed":
+        if partition is None:
+            raise ValueError(
+                "execution='distributed' needs a partition= (a "
+                "TensorPartition describing rank ownership; see "
+                "repro.partition.strategies for ready-made partitioners)"
+            )
+        from repro.distributed.dist_hooi import distributed_hooi
+
+        opts = HOOIOptions.from_dict(base)
+        kwargs = {"callback": callback}
+        if machine is not None:
+            kwargs["machine"] = machine
+        return distributed_hooi(tensor, rank, partition, opts, **kwargs)
+
+    if partition is not None or machine is not None:
+        raise ValueError(
+            "partition=/machine= only apply to execution='distributed'; "
+            f"the {execution!r} execution runs on the single-node engine"
+        )
+    base["execution"] = execution
+    opts = HOOIOptions.from_dict(base)
+    return hooi(
+        tensor,
+        rank,
+        opts,
+        callback=callback,
+        workspace=workspace,
+        cancel_check=cancel_check,
+    )

@@ -18,8 +18,10 @@ shared option/result containers every driver uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -239,6 +241,74 @@ class HOOIOptions:
                 )
         return self
 
+    # -- serialization contract ------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """The options as a plain, JSON-serializable dict (every field).
+
+        This is the wire format of the serving layer's job submissions and
+        the input :meth:`from_dict` round-trips.  Explicit factor-matrix
+        initialization (``init`` given as a sequence of arrays) has no
+        serializable form and is rejected with an actionable error — pass
+        ``init="random"`` or ``init="hosvd"`` for serializable options.
+        """
+        if not isinstance(self.init, str):
+            raise ValueError(
+                "HOOIOptions with an explicit factor-matrix init (a sequence "
+                "of arrays) cannot be serialized: to_dict()/"
+                "options_fingerprint() need a value-form options object — "
+                "use init='random' or init='hosvd', or keep the explicit "
+                "factors on the low-level hooi(...) call path"
+            )
+        out: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value is not None and spec.name in (
+                "max_iterations", "num_workers", "seed", "block_nnz"
+            ):
+                value = int(value)
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "HOOIOptions":
+        """Build options from a (possibly partial) dict, rejecting unknowns.
+
+        Missing keys take their defaults, so a fingerprint computed from a
+        partial submission equals the fingerprint of the fully-specified
+        equivalent (:meth:`options_fingerprint` is default-insensitive).
+        Unknown keys raise — a misspelled option silently falling back to
+        its default is exactly the failure mode a serializable API must not
+        have.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown HOOIOptions key(s) {unknown}: valid keys are "
+                f"{sorted(known)} — check the spelling (from_dict rejects "
+                "unknowns instead of silently using defaults)"
+            )
+        return cls(**dict(data))
+
+    def options_fingerprint(self) -> str:
+        """Canonical hash of the options — the cache/wire identity.
+
+        Computed over the *complete* field set serialized with sorted keys,
+        so it is insensitive to both construction order and to whether a
+        value was spelled out or defaulted:
+        ``HOOIOptions().options_fingerprint() ==
+        HOOIOptions.from_dict({}).options_fingerprint() ==
+        HOOIOptions(max_iterations=5).options_fingerprint()``.
+        Together with :meth:`repro.core.sparse_tensor.SparseTensor.fingerprint`
+        (and the ranks) it keys the serving layer's result cache.
+        """
+        payload = json.dumps(
+            {"schema": "hooi-options/1", "options": self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
 
 @dataclass
 class HOOIResult:
@@ -281,6 +351,7 @@ def hooi(
     *,
     callback: Optional[Callable[[int, float], None]] = None,
     workspace=None,
+    cancel_check: Optional[Callable[[], None]] = None,
 ) -> HOOIResult:
     """Run sequential HOOI on a sparse tensor.
 
@@ -299,6 +370,11 @@ def hooi(
     workspace:
         Optional :class:`repro.engine.workspace.WorkspacePool` shared across
         runs (one is created per run otherwise).
+    cancel_check:
+        Optional zero-argument callable invoked at every mode boundary of
+        every sweep; raise from it to abort the run cooperatively (the
+        serving layer's cancellation/timeout seam — backend resources are
+        still released through the engine's ``finalize`` hook).
     """
     from repro.engine.dimtree import resolve_ttmc_backend
     from repro.engine.driver import HOOIEngine
@@ -311,7 +387,7 @@ def hooi(
         backend=resolve_ttmc_backend(options),
         workspace=workspace,
     )
-    return engine.run(callback=callback)
+    return engine.run(callback=callback, cancel_check=cancel_check)
 
 
 def hooi_iteration_stats(result: HOOIResult) -> Dict[str, float]:

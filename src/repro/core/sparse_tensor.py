@@ -16,6 +16,7 @@ storage dtype; anything that is not a supported float dtype is promoted to
 
 from __future__ import annotations
 
+import hashlib
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -193,6 +194,32 @@ class SparseTensor:
     def norm(self) -> float:
         """Frobenius norm."""
         return float(np.linalg.norm(self.values))
+
+    def fingerprint(self) -> str:
+        """Content hash of the tensor: shape, value dtype and stored nonzeros.
+
+        The hash is *canonical over the nonzero order*: nonzeros are sorted
+        by their linear index before hashing, so two tensors holding the
+        same coordinates/values in a different storage order fingerprint
+        identically (duplicate coordinates keep their relative order and are
+        hashed as stored — fingerprint a :meth:`deduplicate`-d tensor when
+        duplicate-insensitive identity is needed).  The dtype participates,
+        so a ``float32`` copy of a ``float64`` tensor is a different tensor.
+
+        This is the identity the serving layer's result cache keys on
+        (together with :meth:`repro.core.hooi.HOOIOptions.options_fingerprint`):
+        any change to the shape, any single index, or any single value —
+        including a sign flip or a last-ulp perturbation — changes the hash.
+        """
+        digest = hashlib.sha256()
+        digest.update(b"repro-sparse-tensor/1")
+        digest.update(np.asarray(self.shape, dtype=np.int64).tobytes())
+        digest.update(self.values.dtype.str.encode("ascii"))
+        if self.nnz:
+            order = np.argsort(self.linear_indices(), kind="stable")
+            digest.update(np.ascontiguousarray(self.indices[order]).tobytes())
+            digest.update(np.ascontiguousarray(self.values[order]).tobytes())
+        return digest.hexdigest()
 
     def memory_bytes(self) -> int:
         """Bytes held by the coordinate and value arrays.

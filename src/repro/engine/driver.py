@@ -95,9 +95,22 @@ class HOOIEngine:
         self._primed_ttmc_out: set = set()
 
     def run(
-        self, *, callback: Optional[Callable[[int, float], None]] = None
+        self,
+        *,
+        callback: Optional[Callable[[int, float], None]] = None,
+        cancel_check: Optional[Callable[[], None]] = None,
     ) -> HOOIResult:
-        """Execute the HOOI state machine and return the packaged result."""
+        """Execute the HOOI state machine and return the packaged result.
+
+        ``cancel_check`` is the cooperative-cancellation seam the serving
+        layer uses: when given, it is invoked at the start of every mode of
+        every sweep (never while a parallel dispatch is in flight) and may
+        raise to abort the run.  The exception propagates to the caller
+        unchanged, and ``finalize`` still releases the backend's per-run
+        resources — a cancelled process-backend run tears down (or, on the
+        serving crew, detaches) its shared segments exactly like a completed
+        one.
+        """
         backend = self.backend
         timings = self.timings
 
@@ -111,14 +124,19 @@ class HOOIEngine:
         with timings.time("symbolic"):
             backend.prepare(self)
         try:
-            return self._run_iterations(callback=callback)
+            return self._run_iterations(
+                callback=callback, cancel_check=cancel_check
+            )
         finally:
             # Per-run resources (e.g. the process backend's worker pool and
             # shared segments) are released whether the run succeeded or not.
             backend.finalize(self)
 
     def _run_iterations(
-        self, *, callback: Optional[Callable[[int, float], None]] = None
+        self,
+        *,
+        callback: Optional[Callable[[int, float], None]] = None,
+        cancel_check: Optional[Callable[[], None]] = None,
     ) -> HOOIResult:
         """The iteration state machine (factored out so run() can finalize)."""
         options = self.options
@@ -139,6 +157,8 @@ class HOOIEngine:
             last_ttmc: Optional[np.ndarray] = None
 
             for mode in range(self.order):
+                if cancel_check is not None:
+                    cancel_check()
                 backend.on_mode_start(self, mode)
                 with timings.time("ttmc"):
                     y_mat = backend.compute_ttmc(self, mode)

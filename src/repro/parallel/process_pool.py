@@ -51,6 +51,8 @@ __all__ = [
     "ProcessConfig",
     "WorkerCrashError",
     "HOOIProcessPool",
+    "PersistentWorkerCrew",
+    "BatchJobSpec",
     "default_start_method",
 ]
 
@@ -96,11 +98,18 @@ class WorkerCrashError(RuntimeError):
 # --------------------------------------------------------------------------- #
 # Worker side
 # --------------------------------------------------------------------------- #
-class _WorkerState:
-    """Per-worker views of the shared operands, built once at startup."""
+class _JobProgram:
+    """One job's views of the shared operands (``prefix`` namespaces a batch).
 
-    def __init__(self, view: ShmView, meta: dict) -> None:
+    A single-job pool builds exactly one program with an empty prefix; a
+    batched generation (:meth:`HOOIProcessPool.for_per_mode_batch`) builds
+    one program per member job, each reading its own ``<job>:``-prefixed
+    segments of the shared arena.
+    """
+
+    def __init__(self, view: ShmView, meta: dict, prefix: str = "") -> None:
         self.view = view
+        self.prefix = prefix
         self.shape = tuple(meta["shape"])
         self.dtype = np.dtype(meta["dtype"])
         self.block_nnz = meta["block_nnz"]
@@ -108,25 +117,28 @@ class _WorkerState:
         # every worker after the first a disk-cache hit).
         self.kernel = meta.get("kernel", "numpy")
         order = len(self.shape)
-        self.factors: List[np.ndarray] = [view[f"factor{n}"] for n in range(order)]
+        self.factors: List[np.ndarray] = [
+            view[f"{prefix}factor{n}"] for n in range(order)
+        ]
         self.strategy = meta["strategy"]
         if self.strategy == "per-mode":
             from repro.core.sparse_tensor import SparseTensor
 
             self.tensor = SparseTensor(
-                view["indices"], view["values"], self.shape, copy=False
+                view[f"{prefix}indices"], view[f"{prefix}values"],
+                self.shape, copy=False,
             )
             self.symbolic: Dict[int, ModeSymbolic] = {
                 n: ModeSymbolic(
                     mode=n,
-                    rows=view[f"sym-rows{n}"],
-                    perm=view[f"sym-perm{n}"],
-                    rowptr=view[f"sym-rowptr{n}"],
+                    rows=view[f"{prefix}sym-rows{n}"],
+                    perm=view[f"{prefix}sym-perm{n}"],
+                    rowptr=view[f"{prefix}sym-rowptr{n}"],
                 )
                 for n in range(order)
             }
             self.outs: Dict[int, np.ndarray] = {
-                n: view[f"out{n}"] for n in range(order)
+                n: view[f"{prefix}out{n}"] for n in range(order)
             }
         else:
             root_id = meta["root_id"]
@@ -179,26 +191,48 @@ class _WorkerState:
         )
 
 
-def _worker_main(worker_id: int, specs, meta: dict, task_q, done_q) -> None:
-    """Worker loop: attach shared views once, then drain chunk descriptors."""
-    try:
-        view = ShmView(specs)
-        state = _WorkerState(view, meta)
-    except BaseException as exc:
-        done_q.put(("__ready__", worker_id, f"{type(exc).__name__}: {exc}"))
-        return
-    done_q.put(("__ready__", worker_id, None))
+class _WorkerState:
+    """Per-worker dispatch over the generation's job programs.
+
+    A plain (single-job) generation holds exactly one program under the key
+    ``None``; a batched generation holds one program per member job, keyed
+    by the job's id.  Chunk descriptors carry the job key, so the shared
+    work queue serves every member of the generation uniformly.
+    """
+
+    def __init__(self, view: ShmView, meta: dict) -> None:
+        self.view = view
+        if meta["strategy"] == "batch":
+            self.programs: Dict[Optional[str], _JobProgram] = {
+                job["job"]: _JobProgram(view, job, prefix=f"{job['job']}:")
+                for job in meta["jobs"]
+            }
+        else:
+            self.programs = {None: _JobProgram(view, meta)}
+
+    def close(self) -> None:
+        self.view.close()
+
+
+def _generation_loop(worker_id: int, state: _WorkerState, task_q, done_q) -> None:
+    """Drain chunk descriptors for one attached generation.
+
+    Returns (with the views closed) when the sentinel ``None`` arrives —
+    the end of the generation for a persistent worker, the end of life for
+    a single-generation worker.
+    """
     try:
         while True:
             task = task_q.get()
             if task is None:
                 return
-            kind, task_id = task[0], task[1]
+            kind, task_id, job = task[0], task[1], task[2]
             try:
+                program = state.programs[job]
                 if kind == "ttmc":
-                    state.ttmc_rows(task[2], task[3], task[4])
+                    program.ttmc_rows(task[3], task[4], task[5])
                 elif kind == "edge":
-                    state.edge_groups(task[2], task[3], task[4])
+                    program.edge_groups(task[3], task[4], task[5])
                 else:
                     raise ValueError(f"unknown task kind {kind!r}")
                 error = None
@@ -206,40 +240,339 @@ def _worker_main(worker_id: int, specs, meta: dict, task_q, done_q) -> None:
                 error = f"{type(exc).__name__}: {exc}"
             done_q.put((task_id, worker_id, error))
     finally:
-        view.close()
+        state.close()
+
+
+def _worker_main(worker_id: int, specs, meta, task_q, done_q, ctrl_q=None) -> None:
+    """Worker entry point.
+
+    Without ``ctrl_q`` (a pool-owned worker) the worker attaches the given
+    arena once, serves exactly one generation and exits — the original
+    single-run protocol.  With ``ctrl_q`` (a :class:`PersistentWorkerCrew`
+    worker) the process is long-lived: it blocks on its private control
+    queue for ``("__attach__", specs, meta)`` commands, serves the
+    generation until the shared work queue delivers the detach sentinel,
+    acks ``"__detached__"``, and loops — amortizing process spawn and
+    interpreter/NumPy import across every job a service ever runs.
+    """
+    if ctrl_q is None:
+        try:
+            state = _WorkerState(ShmView(specs), meta)
+        except BaseException as exc:
+            done_q.put(("__ready__", worker_id, f"{type(exc).__name__}: {exc}"))
+            return
+        done_q.put(("__ready__", worker_id, None))
+        _generation_loop(worker_id, state, task_q, done_q)
+        return
+    while True:
+        command = ctrl_q.get()
+        if command is None or command[0] == "__stop__":
+            return
+        if command[0] != "__attach__":  # pragma: no cover - defensive
+            continue
+        _, gen_specs, gen_meta = command
+        try:
+            state = _WorkerState(ShmView(gen_specs), gen_meta)
+        except BaseException as exc:
+            done_q.put(("__ready__", worker_id, f"{type(exc).__name__}: {exc}"))
+            continue
+        done_q.put(("__ready__", worker_id, None))
+        _generation_loop(worker_id, state, task_q, done_q)
+        done_q.put(("__detached__", worker_id, None))
 
 
 # --------------------------------------------------------------------------- #
 # Driver side
 # --------------------------------------------------------------------------- #
-class HOOIProcessPool:
-    """A persistent pool of worker processes attached to one shared arena.
+def _resolve_config(config, crew) -> ProcessConfig:
+    """The pool config, defaulted (and size-checked later) against a crew."""
+    if config is not None:
+        return config
+    if crew is not None:
+        return ProcessConfig(num_workers=crew.num_workers)
+    return ProcessConfig()
 
-    Build one with :meth:`for_per_mode` (row-parallel ``Y_(n)`` TTMc) or
-    :meth:`for_dimtree` (fiber-parallel dimension-tree edge updates), drive
-    it with :meth:`ttmc` / :meth:`dimtree_edge` / :meth:`write_factor`, and
-    release it with :meth:`close` (or use it as a context manager).
+
+def _validate_per_mode_ranks(tensor, ranks: Sequence[int]) -> List[int]:
+    """Widths of every mode's ``Y_(n)``, rejecting shrinking TRSVD ranks."""
+    order = tensor.order
+    widths = [
+        kron_row_length([ranks[t] for t in range(order) if t != n])
+        for n in range(order)
+    ]
+    for n in range(order):
+        if ranks[n] > min(tensor.shape[n], widths[n]):
+            raise ValueError(
+                f"rank {ranks[n]} of mode {n} exceeds min(I_n, W_n) = "
+                f"{min(tensor.shape[n], widths[n])}; the TRSVD would "
+                "return fewer columns and the process backend needs "
+                "fixed factor shapes"
+            )
+    return widths
+
+
+def _put_per_mode_job(
+    arena: ShmArena,
+    tensor,
+    symbolic: Dict[int, ModeSymbolic],
+    factors: Sequence[np.ndarray],
+    ranks: Sequence[int],
+    dtype,
+    *,
+    block_nnz: Optional[int],
+    kernel: str,
+    prefix: str,
+) -> dict:
+    """Place one per-mode job's operands into the arena; return its meta.
+
+    ``prefix`` namespaces the segment keys (empty for a single-job pool,
+    ``"<job>:"`` for batch members), matching what :class:`_JobProgram`
+    reads back on the worker side.
+    """
+    dtype = np.dtype(dtype)
+    ranks = [int(r) for r in ranks]
+    widths = _validate_per_mode_ranks(tensor, ranks)
+    order = tensor.order
+    arena.put(f"{prefix}indices", tensor.indices)
+    arena.put(f"{prefix}values", np.asarray(tensor.values, dtype=dtype))
+    for n in range(order):
+        arena.put(f"{prefix}factor{n}", np.asarray(factors[n], dtype=dtype))
+        sym = symbolic[n]
+        arena.put(f"{prefix}sym-rows{n}", sym.rows)
+        arena.put(f"{prefix}sym-perm{n}", sym.perm)
+        arena.put(f"{prefix}sym-rowptr{n}", sym.rowptr)
+        arena.zeros(f"{prefix}out{n}", (tensor.shape[n], widths[n]), dtype)
+    return {
+        "strategy": "per-mode",
+        "shape": tuple(int(s) for s in tensor.shape),
+        "ranks": tuple(ranks),
+        "dtype": dtype.str,
+        "block_nnz": block_nnz,
+        "kernel": kernel,
+    }
+
+
+class PersistentWorkerCrew:
+    """Long-lived worker processes serving many pool generations.
+
+    A plain :class:`HOOIProcessPool` spawns its workers at construction and
+    kills them at :meth:`~HOOIProcessPool.close` — the right lifecycle for a
+    one-shot ``hooi(...)`` call, and exactly the wrong one for a service
+    handling a stream of requests, where process spawn + NumPy import costs
+    dominate small jobs.  A crew decouples the two lifetimes: the processes
+    are spawned once (here) and each :class:`HOOIProcessPool` built with
+    ``crew=`` merely *attaches* them to its shared arena (one
+    ``("__attach__", specs, meta)`` command per worker over its private
+    control queue) and *detaches* them on close (the shared-queue sentinel
+    trick: one ``None`` per worker — a worker that took one is back on its
+    control queue and cannot take a second), leaving the processes alive for
+    the next generation.
+
+    The crew is not usable concurrently: at most one generation may be
+    attached at a time (the serving layer's admission batching exists to
+    pack many small jobs into one generation rather than to multiplex
+    generations).  A crew whose worker died — or that timed out detaching —
+    is *broken*: :attr:`alive` turns false and the owner is expected to
+    :meth:`close` it and build a fresh one (the serving layer's
+    crash-retry path).
     """
 
-    def __init__(self, *, arena: ShmArena, meta: dict, mode_rows: Dict[int, int],
-                 node_groups: Dict[int, int], config: ProcessConfig) -> None:
+    def __init__(
+        self,
+        num_workers: int = 1,
+        *,
+        start_method: Optional[str] = None,
+        startup_timeout: float = 120.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.startup_timeout = startup_timeout
+        self.generations = 0
+        self._closed = False
+        self._broken = False
+        ctx = mp.get_context(start_method or default_start_method())
+        self.task_q = ctx.Queue()
+        self.done_q = ctx.Queue()
+        self.ctrl_qs = [ctx.Queue() for _ in range(num_workers)]
+        self.workers: List[mp.process.BaseProcess] = []
+        try:
+            for worker_id in range(num_workers):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id, None, None,
+                        self.task_q, self.done_q, self.ctrl_qs[worker_id],
+                    ),
+                    name=f"repro-crew-worker-{worker_id}",
+                    daemon=True,
+                )
+                proc.start()
+                self.workers.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def alive(self) -> bool:
+        """Whether the crew can serve another generation."""
+        return (
+            not self._closed
+            and not self._broken
+            and all(w.is_alive() for w in self.workers)
+        )
+
+    def mark_broken(self) -> None:
+        """Retire the crew (a worker died or a detach timed out)."""
+        self._broken = True
+
+    def attach(self, specs, meta: dict) -> None:
+        """Broadcast a generation's attach command to every worker."""
+        if not self.alive:
+            raise WorkerCrashError(
+                "the worker crew is closed, broken or has dead workers; "
+                "build a fresh crew"
+            )
+        for ctrl_q in self.ctrl_qs:
+            ctrl_q.put(("__attach__", specs, meta))
+        self.generations += 1
+
+    def close(self) -> None:
+        """Stop and reap the worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for ctrl_q in self.ctrl_qs:
+            try:
+                ctrl_q.put(("__stop__",))
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+        # A worker mid-generation is blocked on the shared task queue, not
+        # its control queue; feed it a detach sentinel so it can exit.
+        for _ in self.workers:
+            try:
+                self.task_q.put(None)
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                break
+        for worker in self.workers:
+            worker.join(timeout=2.0)
+        for worker in self.workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+            if worker.is_alive():  # pragma: no cover - last resort
+                worker.kill()
+                worker.join(timeout=1.0)
+        queues = [self.task_q, self.done_q, *self.ctrl_qs]
+        for q in queues:
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+
+    def __enter__(self) -> "PersistentWorkerCrew":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "closed" if self._closed
+            else ("broken" if not self.alive else "live")
+        )
+        return (
+            f"PersistentWorkerCrew(workers={self.num_workers}, "
+            f"generations={self.generations}, {state})"
+        )
+
+
+@dataclass(frozen=True)
+class BatchJobSpec:
+    """One member of a batched per-mode pool generation.
+
+    ``job`` is the caller-chosen key every pool call uses to address this
+    member (``pool.ttmc(mode, job=...)``); it doubles as the arena
+    namespace prefix, so it must be unique within the batch.  ``tensor``
+    must already carry the job's value dtype (the engine's dtype policy is
+    applied before the arena is built) and ``factors`` are the job's
+    initial factor matrices.
+    """
+
+    job: str
+    tensor: object
+    symbolic: Dict[int, ModeSymbolic]
+    factors: Sequence[np.ndarray]
+    ranks: Sequence[int]
+    block_nnz: Optional[int] = None
+    kernel: str = "numpy"
+
+
+class HOOIProcessPool:
+    """A pool of worker processes attached to one shared arena.
+
+    Build one with :meth:`for_per_mode` (row-parallel ``Y_(n)`` TTMc),
+    :meth:`for_dimtree` (fiber-parallel dimension-tree edge updates) or
+    :meth:`for_per_mode_batch` (several jobs sharing one generation), drive
+    it with :meth:`ttmc` / :meth:`dimtree_edge` / :meth:`write_factor`, and
+    release it with :meth:`close` (or use it as a context manager).
+
+    Workers either belong to the pool (spawned here, killed on close — the
+    one-shot ``hooi(...)`` lifecycle) or to a caller-owned
+    :class:`PersistentWorkerCrew` passed as ``crew=`` (attached on
+    construction, detached — but kept alive — on close; the serving
+    lifecycle).  ``mode_rows`` is keyed ``(job, mode)`` with ``job=None``
+    for single-job pools.
+    """
+
+    def __init__(self, *, arena: ShmArena, meta: dict, mode_rows: Dict,
+                 node_groups: Dict[int, int], config: ProcessConfig,
+                 crew: Optional[PersistentWorkerCrew] = None) -> None:
         self._arena = arena
         self._meta = meta
         self._mode_rows = mode_rows
         self._node_groups = node_groups
         self.config = config
+        self._crew = crew
         self._closed = False
         self._broken = False
+        self._detach_needed = False
         self._task_counter = 0
         self.workers: List[mp.process.BaseProcess] = []
         try:
+            if crew is not None:
+                if crew.num_workers != config.num_workers:
+                    raise ValueError(
+                        f"the crew has {crew.num_workers} workers but the "
+                        f"pool config asks for {config.num_workers}; size "
+                        "the ProcessConfig from crew.num_workers"
+                    )
+                self._task_q = crew.task_q
+                self._done_q = crew.done_q
+                self.workers = crew.workers
+                crew.attach(arena.specs, meta)
+                self._detach_needed = True
+                try:
+                    self._wait_ready()
+                except BaseException:
+                    # A partial attach leaves workers split between the
+                    # control and generation loops; a detach broadcast could
+                    # poison a later generation, so retire the crew instead.
+                    crew.mark_broken()
+                    self._detach_needed = False
+                    raise
+                return
             ctx = mp.get_context(config.start_method or default_start_method())
             self._task_q = ctx.Queue()
             self._done_q = ctx.Queue()
             for worker_id in range(config.num_workers):
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(worker_id, arena.specs, meta, self._task_q, self._done_q),
+                    args=(
+                        worker_id, arena.specs, meta,
+                        self._task_q, self._done_q, None,
+                    ),
                     name=f"repro-hooi-worker-{worker_id}",
                     daemon=True,
                 )
@@ -263,54 +596,87 @@ class HOOIProcessPool:
         config: Optional[ProcessConfig] = None,
         block_nnz: Optional[int] = None,
         kernel: str = "numpy",
+        crew: Optional[PersistentWorkerCrew] = None,
     ) -> "HOOIProcessPool":
         """Pool executing the per-mode row-parallel TTMc (Algorithm 3).
 
         ``kernel`` selects the inner-loop tier each worker runs
         (``"numpy"`` or the compiled ``"numba"`` loops); it rides along in
         the pool metadata, so workers resolve their own dispatch table after
-        attaching shared memory.
+        attaching shared memory.  ``crew`` runs the generation on an
+        existing :class:`PersistentWorkerCrew` instead of spawning workers.
         """
-        config = config or ProcessConfig()
+        config = _resolve_config(config, crew)
         dtype = np.dtype(dtype)
         ranks = [int(r) for r in ranks]
         order = tensor.order
-        widths = [
-            kron_row_length([ranks[t] for t in range(order) if t != n])
-            for n in range(order)
-        ]
-        for n in range(order):
-            if ranks[n] > min(tensor.shape[n], widths[n]):
-                raise ValueError(
-                    f"rank {ranks[n]} of mode {n} exceeds min(I_n, W_n) = "
-                    f"{min(tensor.shape[n], widths[n])}; the TRSVD would "
-                    "return fewer columns and the process backend needs "
-                    "fixed factor shapes"
-                )
         arena = ShmArena()
         try:
-            arena.put("indices", tensor.indices)
-            arena.put("values", np.asarray(tensor.values, dtype=dtype))
-            mode_rows: Dict[int, int] = {}
-            for n in range(order):
-                arena.put(f"factor{n}", np.asarray(factors[n], dtype=dtype))
-                sym = symbolic[n]
-                arena.put(f"sym-rows{n}", sym.rows)
-                arena.put(f"sym-perm{n}", sym.perm)
-                arena.put(f"sym-rowptr{n}", sym.rowptr)
-                arena.zeros(f"out{n}", (tensor.shape[n], widths[n]), dtype)
-                mode_rows[n] = sym.num_rows
-            meta = {
-                "strategy": "per-mode",
-                "shape": tuple(int(s) for s in tensor.shape),
-                "ranks": tuple(ranks),
-                "dtype": dtype.str,
-                "block_nnz": block_nnz,
-                "kernel": kernel,
+            meta = _put_per_mode_job(
+                arena, tensor, symbolic, factors, ranks, dtype,
+                block_nnz=block_nnz, kernel=kernel, prefix="",
+            )
+            mode_rows = {
+                (None, n): symbolic[n].num_rows for n in range(order)
             }
             return cls(
                 arena=arena, meta=meta, mode_rows=mode_rows,
-                node_groups={}, config=config,
+                node_groups={}, config=config, crew=crew,
+            )
+        except BaseException:
+            arena.unlink()
+            raise
+
+    @classmethod
+    def for_per_mode_batch(
+        cls,
+        specs: Sequence[BatchJobSpec],
+        dtype,
+        *,
+        config: Optional[ProcessConfig] = None,
+        crew: Optional[PersistentWorkerCrew] = None,
+    ) -> "HOOIProcessPool":
+        """Pool packing several small per-mode jobs into ONE generation.
+
+        Every member's operands land in the same arena under a
+        ``<job>:``-prefixed namespace and all workers attach them in a
+        single ``__attach__`` cycle — the admission batching the serving
+        layer uses so a stream of small tensors costs one attach/detach per
+        *batch* instead of one per job.  Drive members independently with
+        ``ttmc(mode, job=...)`` / ``write_factor(mode, U, job=...)``; the
+        pool itself stays single-consumer (members run one at a time).
+
+        ``dtype`` is the default value dtype; a member whose tensor already
+        carries a (supported) different dtype keeps its own — members of one
+        batch need not share a precision policy.
+        """
+        specs = list(specs)
+        if not specs:
+            raise ValueError("a batch generation needs at least one job")
+        keys = [spec.job for spec in specs]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate job keys in batch: {sorted(keys)}")
+        config = _resolve_config(config, crew)
+        arena = ShmArena()
+        try:
+            jobs_meta = []
+            mode_rows: Dict = {}
+            for spec in specs:
+                job_dtype = np.dtype(getattr(spec.tensor, "dtype", dtype))
+                job_meta = _put_per_mode_job(
+                    arena, spec.tensor, spec.symbolic, spec.factors,
+                    [int(r) for r in spec.ranks], job_dtype,
+                    block_nnz=spec.block_nnz, kernel=spec.kernel,
+                    prefix=f"{spec.job}:",
+                )
+                job_meta["job"] = spec.job
+                jobs_meta.append(job_meta)
+                for n in range(spec.tensor.order):
+                    mode_rows[(spec.job, n)] = spec.symbolic[n].num_rows
+            meta = {"strategy": "batch", "jobs": jobs_meta}
+            return cls(
+                arena=arena, meta=meta, mode_rows=mode_rows,
+                node_groups={}, config=config, crew=crew,
             )
         except BaseException:
             arena.unlink()
@@ -327,6 +693,7 @@ class HOOIProcessPool:
         *,
         config: Optional[ProcessConfig] = None,
         block_nnz: Optional[int] = None,
+        crew: Optional[PersistentWorkerCrew] = None,
     ) -> "HOOIProcessPool":
         """Pool executing fiber-parallel dimension-tree edge updates.
 
@@ -336,19 +703,10 @@ class HOOIProcessPool:
         same buffers (the driver keeps the version counters and decides
         *which* edges are stale; workers execute the chunks).
         """
-        config = config or ProcessConfig()
+        config = _resolve_config(config, crew)
         dtype = np.dtype(dtype)
         ranks = [int(r) for r in ranks]
-        order = tensor.order
-        for n in range(order):
-            width = kron_row_length([ranks[t] for t in range(order) if t != n])
-            if ranks[n] > min(tensor.shape[n], width):
-                raise ValueError(
-                    f"rank {ranks[n]} of mode {n} exceeds min(I_n, W_n) = "
-                    f"{min(tensor.shape[n], width)}; the TRSVD would "
-                    "return fewer columns and the process backend needs "
-                    "fixed factor shapes"
-                )
+        _validate_per_mode_ranks(tensor, ranks)
         arena = ShmArena()
         try:
             arena.put("indices", tensor.indices)
@@ -395,7 +753,7 @@ class HOOIProcessPool:
             }
             return cls(
                 arena=arena, meta=meta, mode_rows={},
-                node_groups=node_groups, config=config,
+                node_groups=node_groups, config=config, crew=crew,
             )
         except BaseException:
             arena.unlink()
@@ -481,14 +839,25 @@ class HOOIProcessPool:
         )
 
     # -- public operations ----------------------------------------------- #
-    def ttmc(self, mode: int) -> np.ndarray:
-        """Row-parallel ``Y_(mode)`` into (and returning) the shared buffer."""
+    @staticmethod
+    def _prefix(job: Optional[str]) -> str:
+        return f"{job}:" if job is not None else ""
+
+    def ttmc(self, mode: int, *, job: Optional[str] = None) -> np.ndarray:
+        """Row-parallel ``Y_(mode)`` into (and returning) the shared buffer.
+
+        ``job`` addresses one member of a batched generation
+        (:meth:`for_per_mode_batch`); single-job pools omit it.
+        """
         self._check_usable()
-        out = self._arena[f"out{mode}"]
-        num_rows = self._mode_rows[mode]
+        out = self._arena[f"{self._prefix(job)}out{mode}"]
+        num_rows = self._mode_rows[(job, mode)]
         if num_rows:
             self._dispatch(
-                [("ttmc", mode, start, stop) for start, stop in self._chunks(num_rows)]
+                [
+                    ("ttmc", job, mode, start, stop)
+                    for start, stop in self._chunks(num_rows)
+                ]
             )
         return out
 
@@ -500,7 +869,7 @@ class HOOIProcessPool:
         if num_groups:
             self._dispatch(
                 [
-                    ("edge", int(node_id), start, stop)
+                    ("edge", None, int(node_id), start, stop)
                     for start, stop in self._chunks(num_groups)
                 ]
             )
@@ -510,7 +879,9 @@ class HOOIProcessPool:
         """The shared payload buffer of a dimension-tree node."""
         return self._arena[f"payload{int(node_id)}"]
 
-    def write_factor(self, mode: int, array: np.ndarray) -> None:
+    def write_factor(
+        self, mode: int, array: np.ndarray, *, job: Optional[str] = None
+    ) -> None:
         """Broadcast a refreshed factor by writing its shared segment.
 
         The write happens-before the next task dispatch (queue hand-off), so
@@ -518,7 +889,7 @@ class HOOIProcessPool:
         """
         if self._closed:
             raise RuntimeError("the process pool is closed")
-        segment = self._arena[f"factor{mode}"]
+        segment = self._arena[f"{self._prefix(job)}factor{mode}"]
         array = np.asarray(array, dtype=segment.dtype)
         if array.shape != segment.shape:
             raise ValueError(
@@ -534,12 +905,62 @@ class HOOIProcessPool:
         return self._arena.segment_names
 
     # -- lifecycle ------------------------------------------------------- #
+    def _close_crew_generation(self) -> None:
+        """Detach the crew's workers from this arena (keep them alive).
+
+        One ``None`` sentinel per worker ends the generation loop; each
+        worker closes its views and acks ``"__detached__"``.  Waiting for
+        every ack before unlinking the arena guarantees no worker still
+        holds a mapping when the segments are destroyed — the no-leaked-
+        ``/dev/shm`` property the service's teardown test pins down.  A
+        dead or unresponsive worker makes a deterministic detach
+        impossible, so the crew is retired instead (its own ``close`` reaps
+        the processes).
+        """
+        crew = self._crew
+        if not self._detach_needed:
+            return
+        self._detach_needed = False
+        if any(not w.is_alive() for w in crew.workers):
+            crew.mark_broken()
+            return
+        for _ in crew.workers:
+            self._task_q.put(None)
+        remaining = len(crew.workers)
+        deadline = time.monotonic() + 10.0
+        while remaining:
+            try:
+                tag, _worker_id, _error = self._done_q.get(timeout=0.2)
+            except queue_module.Empty:
+                if (
+                    time.monotonic() > deadline
+                    or any(not w.is_alive() for w in crew.workers)
+                ):
+                    crew.mark_broken()
+                    return
+                continue
+            if tag == "__detached__":
+                remaining -= 1
+            # Anything else is a stale ack of a batch that died mid-flight;
+            # drain and drop it so the next generation starts clean.
+
     def close(self) -> None:
-        """Stop the workers and destroy the shared segments (idempotent)."""
+        """Stop the workers and destroy the shared segments (idempotent).
+
+        Crew-backed pools *detach* the workers instead of stopping them —
+        the generation ends, the processes live on for the next one.
+        """
         if self._closed:
             self._arena.unlink()
             return
         self._closed = True
+        if self._crew is not None:
+            try:
+                self._close_crew_generation()
+            finally:
+                self._arena.close()
+                self._arena.unlink()
+            return
         for _ in self.workers:
             try:
                 self._task_q.put(None)

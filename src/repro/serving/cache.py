@@ -1,0 +1,93 @@
+"""The service's LRU result cache.
+
+Completed decompositions are cached under the request's content-addressed
+key ``(tensor_fingerprint, request_fingerprint)`` — see
+:class:`repro.serving.jobs.JobRequest` — so resubmitting an *identical* job
+(same nonzeros, same ranks, same fully-materialized options, however
+spelled) is served without touching the queue or the worker pool.  The cache
+is deliberately value-blind: it stores whatever the run returned (an
+:class:`~repro.core.hooi.HOOIResult`) and never inspects it.
+
+Accounting is part of the contract: ``hits`` / ``misses`` / ``evictions``
+feed the service's metrics snapshot, and the serving tests assert them
+exactly, so :meth:`ResultCache.get` is the *only* place a lookup is counted
+— callers must not probe the cache through any side door.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A counted LRU mapping of request keys to decomposition results.
+
+    ``capacity`` bounds the number of retained results (a decomposition's
+    factors and core are dense, so the bound is on entries, chosen by the
+    operator for the deployment's rank regime); ``capacity=0`` disables
+    caching entirely while keeping the miss accounting alive.  Not
+    thread-safe by design: the service only touches it from the event-loop
+    thread.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached result for ``key``, or None; counts the hit/miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) a result, evicting the LRU entry beyond capacity."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        # Membership does not count as a lookup; accounting lives in get().
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved; they are cumulative)."""
+        self._entries.clear()
+
+    def snapshot(self) -> dict:
+        """Counters + occupancy for the service's metrics endpoint."""
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,263 @@
+"""How the service actually runs jobs: direct engine runs and pooled batches.
+
+Two execution paths, chosen per job by the dispatcher:
+
+* :func:`run_direct` — one ordinary :func:`repro.core.hooi.hooi` call on the
+  service's worker thread.  Used for ``execution="sequential"`` /
+  ``"thread"`` jobs and for the process-execution shapes the pooled path
+  does not cover (dimension-tree strategy, CSF storage), which keep the
+  one-shot pool-per-run lifecycle.
+
+* :func:`run_process_batch` — the persistent-pool path.  All jobs of the
+  batch are prepared up front (dtype policy, per-mode symbolic data,
+  initial factors — the same steps, in the same order, the engine's own
+  :class:`~repro.engine.backend.ProcessBackend` performs), packed into ONE
+  :meth:`~repro.parallel.process_pool.HOOIProcessPool.for_per_mode_batch`
+  generation on the manager's crew, and then run one engine at a time
+  through :class:`PooledProcessBackend`.  A batch costs one worker
+  attach/detach cycle regardless of its size and zero process spawns — the
+  attach/detach-thrash avoidance that makes a stream of small tensors cheap.
+
+Every job's outcome is reported as a ``(job, kind, payload)`` tuple with
+``kind`` in ``{"ok", "cancelled", "timeout", "crash", "error"}``; the
+service applies them on the event-loop thread (crash outcomes feed the
+retry path).  Nothing here touches asyncio — these functions run inside the
+service's single worker thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hooi import hooi
+from repro.core.hosvd import initialize_factors
+from repro.core.sparse_tensor import SparseTensor, resolve_dtype
+from repro.core.symbolic import symbolic_ttmc
+from repro.engine.backend import SequentialBackend
+from repro.engine.driver import HOOIEngine
+from repro.engine.workspace import WorkspacePool
+from repro.parallel.process_pool import (
+    BatchJobSpec,
+    HOOIProcessPool,
+    PersistentWorkerCrew,
+    ProcessConfig,
+    WorkerCrashError,
+)
+from repro.serving.jobs import Job, JobCancelledError, JobTimeoutError
+
+__all__ = [
+    "PooledProcessBackend",
+    "pooled_eligible",
+    "run_direct",
+    "run_process_batch",
+]
+
+#: Outcome kinds the service's dispatcher understands.
+OUTCOME_KINDS = ("ok", "cancelled", "timeout", "crash", "error")
+
+Outcome = Tuple[Job, str, object]
+
+
+def pooled_eligible(job: Job) -> bool:
+    """Whether a job can run on the persistent crew's batched generations.
+
+    The batched arena layout implements the per-mode row-parallel TTMc over
+    COO storage — the same coverage as the engine's own process pool.  The
+    dimension-tree strategy keeps its dedicated (fiber-parallel) arena
+    layout and CSF does not compose with process execution at all
+    (:meth:`HOOIOptions.validate` rejects it), so those shapes fall back to
+    :func:`run_direct`.
+    """
+    opts = job.request.options
+    return (
+        opts.execution == "process"
+        and (opts.ttmc_strategy or "per-mode") == "per-mode"
+        and (opts.tensor_format or "coo") == "coo"
+    )
+
+
+def _classify(job: Job, exc: BaseException) -> Outcome:
+    if isinstance(exc, JobCancelledError):
+        return (job, "cancelled", exc)
+    if isinstance(exc, JobTimeoutError):
+        return (job, "timeout", exc)
+    if isinstance(exc, WorkerCrashError):
+        return (job, "crash", exc)
+    return (job, "error", exc)
+
+
+def run_direct(job: Job, *, workspace: Optional[WorkspacePool] = None) -> Outcome:
+    """Run one job through the ordinary driver on the calling thread."""
+    request = job.request
+    try:
+        result = hooi(
+            request.tensor,
+            list(request.ranks),
+            request.options,
+            callback=job.progress_callback,
+            workspace=workspace,
+            cancel_check=job.make_cancel_check(),
+        )
+    except BaseException as exc:
+        return _classify(job, exc)
+    return (job, "ok", result)
+
+
+class PooledProcessBackend(SequentialBackend):
+    """Engine backend executing TTMc on an already-attached pool generation.
+
+    Unlike :class:`~repro.engine.backend.ProcessBackend` — which builds its
+    own pool in ``prepare`` and kills it in ``finalize`` — this backend is
+    handed a generation that was built *before* the engine started (the
+    batch arena needs every member's operands at construction time) and
+    whose teardown belongs to the batch runner, not to any single member.
+    The pre-computed tensor/symbolic/factors are replayed into the engine's
+    hooks so the engine state matches what the arena holds; ``finalize`` is
+    deliberately a no-op.
+    """
+
+    name = "pooled-process"
+
+    def __init__(
+        self,
+        pool: HOOIProcessPool,
+        job_key: str,
+        tensor: SparseTensor,
+        symbolic: Dict,
+        factors: Sequence[np.ndarray],
+    ) -> None:
+        self._pool = pool
+        self._job = job_key
+        self._tensor = tensor
+        self._symbolic = symbolic
+        self._factors = list(factors)
+
+    def prepare_tensor(self, eng) -> None:
+        # The dtype policy was applied when the arena was packed; hand the
+        # engine the exact tensor the workers attached.
+        eng.tensor = self._tensor
+
+    def initial_factors(self, eng) -> List[np.ndarray]:
+        return self._factors
+
+    def prepare(self, eng) -> None:
+        self.symbolic = self._symbolic
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        return self._pool.ttmc(mode, job=self._job)
+
+    def update_factor(self, eng, mode: int, y_mat: np.ndarray):
+        new_factor, stats = super().update_factor(eng, mode, y_mat)
+        self._pool.write_factor(mode, new_factor, job=self._job)
+        return new_factor, stats
+
+    def finalize(self, eng) -> None:
+        # The generation outlives this member; run_process_batch closes it.
+        pass
+
+
+def _prepare_member(job: Job) -> Tuple[SparseTensor, Dict, List[np.ndarray]]:
+    """Apply the dtype policy and build symbolic data + initial factors.
+
+    Mirrors the engine's own setup order (``prepare_tensor`` →
+    ``initial_factors`` → ``prepare``) so a pooled run is bit-for-bit the
+    computation a direct ``execution="process"`` run performs.
+    """
+    request = job.request
+    opts = request.options
+    dtype = resolve_dtype(opts.dtype)
+    tensor = request.tensor
+    if isinstance(tensor, SparseTensor):
+        tensor = tensor.astype(dtype)
+    factors = [
+        np.asarray(f, dtype=dtype)
+        for f in initialize_factors(
+            tensor, list(request.ranks), init=opts.init, seed=opts.seed
+        )
+    ]
+    symbolic = {mode: symbolic_ttmc(tensor, mode) for mode in range(tensor.order)}
+    return tensor, symbolic, factors
+
+
+def run_process_batch(
+    crew: PersistentWorkerCrew, jobs: Sequence[Job]
+) -> List[Outcome]:
+    """Run a batch of pooled jobs on one crew generation.
+
+    Members run one at a time (the pool is single-consumer) but share a
+    single arena build + worker attach/detach cycle.  A worker crash fails
+    the in-flight member with a ``"crash"`` outcome and — because the pool
+    is broken from that point — every remaining member reports ``"crash"``
+    too, so the service's retry path requeues the whole tail onto a fresh
+    crew.  A member's cancellation or timeout aborts only that member; the
+    generation stays consistent because the engine's ``cancel_check`` fires
+    strictly between dispatches.
+    """
+    members = []
+    try:
+        for job in jobs:
+            tensor, symbolic, factors = _prepare_member(job)
+            opts = job.request.options
+            members.append(
+                (
+                    job,
+                    tensor,
+                    symbolic,
+                    factors,
+                    BatchJobSpec(
+                        job=job.id,
+                        tensor=tensor,
+                        symbolic=symbolic,
+                        factors=factors,
+                        ranks=list(job.request.ranks),
+                        block_nnz=opts.block_nnz,
+                        kernel=opts.kernel or "numpy",
+                    ),
+                )
+            )
+    except BaseException as exc:
+        # Admission already validated the requests, so a preparation failure
+        # is unexpected — fail the whole batch with the real error.
+        return [_classify(job, exc) for job in jobs]
+
+    try:
+        pool = HOOIProcessPool.for_per_mode_batch(
+            [m[4] for m in members],
+            np.float64,
+            config=ProcessConfig(num_workers=crew.num_workers),
+            crew=crew,
+        )
+    except BaseException as exc:
+        return [_classify(job, exc) for job in jobs]
+
+    outcomes: List[Outcome] = []
+    try:
+        for job, tensor, symbolic, factors, _spec in members:
+            try:
+                backend = PooledProcessBackend(
+                    pool, job.id, tensor, symbolic, factors
+                )
+                engine = HOOIEngine(
+                    tensor,
+                    list(job.request.ranks),
+                    job.request.options,
+                    backend=backend,
+                )
+                result = engine.run(
+                    callback=job.progress_callback,
+                    cancel_check=job.make_cancel_check(),
+                )
+            except BaseException as exc:
+                outcomes.append(_classify(job, exc))
+            else:
+                outcomes.append((job, "ok", result))
+    finally:
+        try:
+            pool.close()
+        except Exception:
+            # A failed detach already marked the crew broken; the arena was
+            # still unlinked, which is all teardown must guarantee here.
+            pass
+    return outcomes

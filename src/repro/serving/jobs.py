@@ -1,0 +1,301 @@
+"""Job objects of the decomposition service: requests, states, handles.
+
+A submission travels the service as three cooperating objects.
+:class:`JobRequest` is the *serializable description* — the tensor plus the
+rank vector and a fully-materialized :class:`~repro.core.hooi.HOOIOptions`,
+identified by two sha256 digests: the tensor's content fingerprint
+(:meth:`~repro.core.sparse_tensor.SparseTensor.fingerprint`) and a request
+fingerprint over ``(ranks, options)`` built from the canonical options codec
+(:meth:`~repro.core.hooi.HOOIOptions.to_dict`).  The pair is the result-cache
+key, so two submissions that *mean* the same decomposition — whatever keyword
+order or defaulted fields they were spelled with — hit the same cache line.
+
+:class:`Job` is the service-internal record (state machine, attempt counter,
+progress, the cancellation flag shared with the worker thread), and
+:class:`JobHandle` is the caller-facing view: await :meth:`JobHandle.result`,
+poll :attr:`JobHandle.state` / :attr:`JobHandle.progress`, or
+:meth:`JobHandle.cancel`.
+
+States move ``QUEUED → RUNNING → DONE | FAILED | CANCELLED`` (cache hits are
+born ``DONE`` with :attr:`JobHandle.cached` set; crash-retried jobs move
+``RUNNING → QUEUED`` again).  See CONTRIBUTING for how to extend the state
+set without breaking the metrics accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+from repro.core.hooi import HOOIOptions
+from repro.util.validation import check_rank_vector
+
+__all__ = [
+    "JobState",
+    "JobRequest",
+    "Job",
+    "JobHandle",
+    "ServingError",
+    "AdmissionError",
+    "JobCancelledError",
+    "JobTimeoutError",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class of the decomposition service's errors."""
+
+
+class AdmissionError(ServingError):
+    """The service refused to enqueue a submission (full queue or closed)."""
+
+
+class JobCancelledError(ServingError):
+    """The job was cancelled (before or during its run)."""
+
+
+class JobTimeoutError(ServingError):
+    """The job exceeded its per-job timeout and was aborted mid-run."""
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a service job.
+
+    ``QUEUED`` (admitted, awaiting dispatch) → ``RUNNING`` (on the worker
+    thread) → one of the terminal states ``DONE`` / ``FAILED`` /
+    ``CANCELLED``.  A crash-retried job transitions ``RUNNING → QUEUED``.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never leaves once entered.
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A serializable decomposition request with content-addressed identity.
+
+    Build one with :meth:`build`; the constructor fields are the normalized
+    outcome (ranks broadcast/clipped to the tensor's shape, options fully
+    materialized and validated).  ``cache_key`` is what the service's result
+    cache is keyed by.
+    """
+
+    tensor: object
+    ranks: Tuple[int, ...]
+    options: HOOIOptions
+    tensor_fingerprint: str
+    request_fingerprint: str
+
+    @classmethod
+    def build(
+        cls,
+        tensor,
+        ranks: Union[int, Sequence[int]],
+        options: Optional[Union[HOOIOptions, dict]] = None,
+        **option_kwargs,
+    ) -> "JobRequest":
+        """Normalize and fingerprint a submission.
+
+        ``options`` may be an :class:`HOOIOptions`, a plain dict (the wire
+        form), or ``None``; ``option_kwargs`` override individual fields on
+        top.  Unknown option keys and invalid compositions are rejected here
+        — at admission time — with the same actionable errors the drivers
+        raise, so a bad request never occupies a queue slot.
+        """
+        if isinstance(options, HOOIOptions):
+            base = options.to_dict()
+        elif options is None:
+            base = {}
+        elif isinstance(options, dict):
+            base = dict(options)
+        else:
+            raise TypeError(
+                f"options must be an HOOIOptions or a dict, got "
+                f"{type(options).__name__}"
+            )
+        base.update(option_kwargs)
+        opts = HOOIOptions.from_dict(base)
+        opts.validate()
+        rank_vec = check_rank_vector(ranks, tensor.shape)
+        payload = json.dumps(
+            {
+                "schema": "hooi-request/1",
+                "ranks": [int(r) for r in rank_vec],
+                "options": opts.to_dict(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return cls(
+            tensor=tensor,
+            ranks=tuple(int(r) for r in rank_vec),
+            options=opts,
+            tensor_fingerprint=tensor.fingerprint(),
+            request_fingerprint=hashlib.sha256(
+                payload.encode("utf-8")
+            ).hexdigest(),
+        )
+
+    @property
+    def cache_key(self) -> Tuple[str, str]:
+        """The result-cache key: content identity × request identity."""
+        return (self.tensor_fingerprint, self.request_fingerprint)
+
+    def to_dict(self) -> dict:
+        """The request as a JSON-ready dict (fingerprints, not payloads)."""
+        return {
+            "tensor_fingerprint": self.tensor_fingerprint,
+            "request_fingerprint": self.request_fingerprint,
+            "ranks": list(self.ranks),
+            "options": self.options.to_dict(),
+        }
+
+
+class Job:
+    """The service-internal job record.
+
+    Lives on both sides of the thread boundary: the event loop mutates
+    ``state`` / applies outcomes, the worker thread reads the cancellation
+    flag (a :class:`threading.Event`) and writes ``progress``.  The only
+    cross-thread signals are the event and the plain-tuple progress write,
+    both safe under the GIL.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        request: JobRequest,
+        future: "asyncio.Future",
+        *,
+        timeout: Optional[float] = None,
+        on_cancel: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.id = job_id
+        self.request = request
+        self.future = future
+        self.timeout = timeout
+        self.state = JobState.QUEUED
+        self.cached = False
+        self.attempts = 0
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.progress: Optional[Tuple[int, float]] = None
+        self._cancel_flag = threading.Event()
+        self._on_cancel = on_cancel
+
+    # -- cancellation (callable from any thread) -------------------------- #
+    def request_cancel(self) -> None:
+        """Flag the job for cancellation and nudge the dispatcher."""
+        self._cancel_flag.set()
+        if self._on_cancel is not None:
+            self._on_cancel()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel_flag.is_set()
+
+    # -- worker-thread seams ---------------------------------------------- #
+    def progress_callback(self, iteration: int, fit: float) -> None:
+        """The engine's ``callback(iteration, fit)`` hook."""
+        self.progress = (int(iteration), float(fit))
+
+    def make_cancel_check(self) -> Callable[[], None]:
+        """The engine's cooperative ``cancel_check`` for one run attempt.
+
+        Checked at every mode boundary of every sweep: a requested
+        cancellation raises :class:`JobCancelledError`; an expired per-job
+        timeout (measured from this attempt's start) raises
+        :class:`JobTimeoutError`.  Raising at the mode boundary — never
+        mid-dispatch — is what keeps a pooled run's worker generation
+        consistent on abort.
+        """
+        deadline = (
+            time.monotonic() + self.timeout
+            if self.timeout is not None
+            else None
+        )
+
+        def check() -> None:
+            if self._cancel_flag.is_set():
+                raise JobCancelledError(f"job {self.id} was cancelled")
+            if deadline is not None and time.monotonic() > deadline:
+                raise JobTimeoutError(
+                    f"job {self.id} exceeded its {self.timeout:g}s timeout"
+                )
+
+        return check
+
+
+class JobHandle:
+    """The caller-facing view of a submitted job."""
+
+    def __init__(self, job: Job) -> None:
+        self._job = job
+
+    @property
+    def job_id(self) -> str:
+        return self._job.id
+
+    @property
+    def state(self) -> JobState:
+        return self._job.state
+
+    @property
+    def cached(self) -> bool:
+        """Whether the result was served from the cache (no computation)."""
+        return self._job.cached
+
+    @property
+    def progress(self) -> Optional[Tuple[int, float]]:
+        """Latest ``(iteration, fit)`` reported by the running job."""
+        return self._job.progress
+
+    @property
+    def request(self) -> JobRequest:
+        return self._job.request
+
+    def done(self) -> bool:
+        return self._job.future.done()
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns False if the job already finished.
+
+        A queued job is finalized as ``CANCELLED`` without running; a
+        running job aborts at its next mode boundary (cooperatively — the
+        in-flight parallel dispatch always completes first).
+        """
+        if self._job.state in TERMINAL_STATES:
+            return False
+        self._job.request_cancel()
+        return True
+
+    async def result(self):
+        """Await the :class:`~repro.core.hooi.HOOIResult` (or the failure).
+
+        Raises :class:`JobCancelledError` / :class:`JobTimeoutError` /
+        whatever the run raised.  Shielded: cancelling the *awaiting task*
+        does not cancel the job — use :meth:`cancel` for that.
+        """
+        return await asyncio.shield(self._job.future)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobHandle({self._job.id}, {self._job.state.value}"
+            f"{', cached' if self._job.cached else ''})"
+        )

@@ -1,0 +1,123 @@
+"""Lifecycle management of the service's persistent worker crew.
+
+The service amortizes worker-process startup across requests by running
+every pooled job on one :class:`~repro.parallel.process_pool.
+PersistentWorkerCrew`.  This module owns that crew's lifecycle: lazy
+construction on first use, health-checked handout (:meth:`HOOIPoolManager.
+acquire` silently replaces a crew whose worker died or whose detach timed
+out), the explicit :meth:`~HOOIPoolManager.reset` the crash-retry path
+calls, and final teardown.  Cumulative counters (``resets``,
+``generations``) survive crew replacement so the metrics snapshot reflects
+the service's whole lifetime, not the current crew's.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.kernels.registry import kernel_available, warmup_kernels
+from repro.parallel.process_pool import PersistentWorkerCrew
+
+__all__ = ["HOOIPoolManager"]
+
+
+class HOOIPoolManager:
+    """Owns the service's crew; hands out a healthy one, rebuilds dead ones.
+
+    Thread-safe: :meth:`acquire` / :meth:`reset` are called from the
+    service's worker thread while :meth:`close` and the metrics reads happen
+    on the event-loop thread.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 1,
+        *,
+        start_method: Optional[str] = None,
+        startup_timeout: float = 120.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self.start_method = start_method
+        self.startup_timeout = startup_timeout
+        self.resets = 0
+        self._generations_retired = 0
+        self._crew: Optional[PersistentWorkerCrew] = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def acquire(self) -> PersistentWorkerCrew:
+        """A healthy crew, building or transparently replacing as needed."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the pool manager is closed")
+            if self._crew is not None and not self._crew.alive:
+                self._retire_locked()
+            if self._crew is None:
+                self._crew = PersistentWorkerCrew(
+                    self.num_workers,
+                    start_method=self.start_method,
+                    startup_timeout=self.startup_timeout,
+                )
+            return self._crew
+
+    def _retire_locked(self) -> None:
+        crew, self._crew = self._crew, None
+        if crew is not None:
+            self._generations_retired += crew.generations
+            crew.close()
+
+    def reset(self) -> None:
+        """Tear down the current crew so the next acquire builds a fresh one.
+
+        The crash-retry path: after a :class:`~repro.parallel.process_pool.
+        WorkerCrashError` the old crew's surviving processes may hold
+        attachments to an arena that is being unlinked, so the whole crew is
+        reaped (releasing every shared-memory mapping) before the retried
+        jobs run on new workers.
+        """
+        with self._lock:
+            self._retire_locked()
+            self.resets += 1
+
+    def warmup(self, kernel: str = "numba") -> None:
+        """Front-load the latency the first request would otherwise pay.
+
+        Spawns the crew processes now and, when the compiled tier is
+        importable, runs :func:`~repro.kernels.registry.warmup_kernels` so
+        JIT compilation happens before any job is admitted.  A no-op for
+        tiers that need no warmup.
+        """
+        self.acquire()
+        if kernel != "numpy" and kernel_available(kernel):
+            warmup_kernels(kernel)
+
+    @property
+    def generations(self) -> int:
+        """Pool generations served across every crew this manager owned."""
+        with self._lock:
+            live = self._crew.generations if self._crew is not None else 0
+            return self._generations_retired + live
+
+    def close(self) -> None:
+        """Reap the crew; the manager refuses further acquires (idempotent)."""
+        with self._lock:
+            self._closed = True
+            self._retire_locked()
+
+    def __enter__(self) -> "HOOIPoolManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else (
+            "idle" if self._crew is None else repr(self._crew)
+        )
+        return (
+            f"HOOIPoolManager(workers={self.num_workers}, "
+            f"resets={self.resets}, {state})"
+        )

@@ -1,0 +1,447 @@
+"""Decomposition-as-a-service: the async job engine over the persistent pool.
+
+:class:`DecompositionService` turns the library's one-shot drivers into a
+long-lived endpoint: callers ``await service.submit(tensor, ranks, ...)``
+and get a :class:`~repro.serving.jobs.JobHandle` whose result they await
+whenever convenient.  Inside, the service is a small, single-consumer
+pipeline:
+
+* **Admission** — ``submit`` normalizes the request
+  (:meth:`JobRequest.build` validates ranks and options exactly like the
+  drivers would), consults the LRU result cache (an identical resubmission
+  is served instantly, born ``DONE`` with ``cached=True``), and enforces
+  the pending-queue bound (:class:`~repro.serving.jobs.AdmissionError`).
+
+* **Dispatch** — one asyncio task drains the FIFO queue.  Consecutive
+  *small* process-execution jobs are packed into one batched pool
+  generation (:func:`~repro.serving.executor.run_process_batch`) on the
+  persistent worker crew, so a stream of small tensors pays one worker
+  attach/detach per batch and zero process spawns; everything else runs
+  through the ordinary drivers (:func:`~repro.serving.executor.run_direct`).
+  All numeric work happens on ONE worker thread — the event loop stays
+  responsive while decompositions grind.
+
+* **Outcomes** — applied back on the loop thread: results land in the
+  cache and resolve futures; cancellations and timeouts raise their typed
+  errors; a worker crash retires the crew
+  (:meth:`~repro.serving.pool_manager.HOOIPoolManager.reset`) and requeues
+  the affected jobs up to ``max_retries`` times.
+
+* **Metrics** — :meth:`DecompositionService.metrics` snapshots queue depth,
+  per-state counts, cache accounting, pool generations/resets, throughput
+  and p50/p95 end-to-end latency.
+
+The service assumes a single asyncio loop (``start`` captures it); handles
+may be cancelled from any thread, but ``submit``/``result`` belong to the
+loop.  See README "Serving decompositions" for the end-to-end example.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.hooi import HOOIOptions
+from repro.engine.workspace import WorkspacePool
+from repro.serving.cache import ResultCache
+from repro.serving.executor import (
+    Outcome,
+    pooled_eligible,
+    run_direct,
+    run_process_batch,
+)
+from repro.serving.jobs import (
+    AdmissionError,
+    Job,
+    JobCancelledError,
+    JobHandle,
+    JobState,
+)
+from repro.serving.pool_manager import HOOIPoolManager
+
+__all__ = ["DecompositionService"]
+
+_UNSET = object()
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 for empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+class DecompositionService:
+    """An async decomposition endpoint over one persistent worker crew.
+
+    Use as an async context manager::
+
+        async with DecompositionService(num_workers=2) as service:
+            handle = await service.submit(tensor, 4, execution="process")
+            result = await handle.result()
+
+    Parameters
+    ----------
+    num_workers:
+        Worker-process count of the persistent crew (pooled jobs).
+    max_pending:
+        Admission bound on queued jobs; beyond it ``submit`` raises
+        :class:`AdmissionError` (cache hits are exempt — they never queue).
+    cache_capacity:
+        LRU result-cache entries (0 disables caching).
+    batch_max / batch_nnz_limit:
+        Admission batching: up to ``batch_max`` consecutive queued
+        process-execution jobs whose tensors have at most
+        ``batch_nnz_limit`` nonzeros share one pool generation.  Larger
+        pooled jobs still run on the crew, one generation each.
+    default_timeout:
+        Per-job timeout in seconds applied when ``submit`` passes none
+        (None = unlimited).  Timeouts abort cooperatively at the next mode
+        boundary and surface as :class:`JobTimeoutError`.
+    max_retries:
+        How many times a job is requeued after a worker crash before it
+        fails with the :class:`~repro.parallel.process_pool.WorkerCrashError`.
+    warmup:
+        Spawn the crew and pre-compile available kernel tiers at
+        :meth:`start` instead of on the first request.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_workers: int = 1,
+        max_pending: int = 64,
+        cache_capacity: int = 64,
+        batch_max: int = 4,
+        batch_nnz_limit: int = 50_000,
+        default_timeout: Optional[float] = None,
+        max_retries: int = 1,
+        warmup: bool = True,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_pending = max_pending
+        self.batch_max = batch_max
+        self.batch_nnz_limit = batch_nnz_limit
+        self.default_timeout = default_timeout
+        self.max_retries = max_retries
+        self._warmup = warmup
+        self._pool = HOOIPoolManager(num_workers, start_method=start_method)
+        self._cache = ResultCache(cache_capacity)
+        self._queue: Deque[Job] = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._workspace = WorkspacePool()
+        self._started = False
+        self._closing = False
+        self._inflight = 0
+        self._counts = {state: 0 for state in JobState}
+        self._submitted = 0
+        self._retries = 0
+        self._latencies: List[float] = []
+        self._started_at: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------- #
+    async def start(self) -> "DecompositionService":
+        """Capture the loop, start the worker thread and the dispatcher."""
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._wakeup = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serving"
+        )
+        if self._warmup:
+            await self._loop.run_in_executor(self._executor, self._pool.warmup)
+        self._dispatcher = self._loop.create_task(
+            self._dispatch_loop(), name="repro-serving-dispatcher"
+        )
+        self._started = True
+        self._started_at = time.monotonic()
+        return self
+
+    async def aclose(self, *, drain: bool = True) -> None:
+        """Stop the service; ``drain=True`` finishes queued work first.
+
+        With ``drain=False`` every still-queued job is finalized as
+        cancelled (the in-flight batch always completes — cancellation is
+        cooperative).  Either way the worker thread is joined and the crew
+        reaped, so no worker process or shared-memory segment outlives the
+        service.
+        """
+        if not self._started:
+            self._pool.close()
+            return
+        if not drain:
+            for job in self._queue:
+                job.request_cancel()
+        self._closing = True
+        self._wakeup.set()
+        await self._dispatcher
+        self._executor.shutdown(wait=True)
+        self._pool.close()
+
+    async def __aenter__(self) -> "DecompositionService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- submission ------------------------------------------------------- #
+    async def submit(
+        self,
+        tensor,
+        ranks,
+        *,
+        options: Optional[Union[HOOIOptions, dict]] = None,
+        timeout=_UNSET,
+        **option_kwargs,
+    ) -> JobHandle:
+        """Admit a decomposition request and return its handle.
+
+        ``options`` / ``option_kwargs`` follow :func:`repro.decompose`:
+        any :class:`HOOIOptions` field, e.g. ``execution="process"``,
+        ``trsvd_method="gram"``.  Invalid requests are rejected here with
+        the drivers' own error messages; a full queue raises
+        :class:`AdmissionError`.  An identical previously-computed request
+        (same tensor content, same normalized options) resolves immediately
+        from the cache without queueing or recomputation.
+        """
+        if not self._started or self._closing:
+            raise AdmissionError(
+                "the service is not accepting submissions "
+                "(not started or closing)"
+            )
+        from repro.serving.jobs import JobRequest
+
+        request = JobRequest.build(tensor, ranks, options, **option_kwargs)
+        job_timeout = self.default_timeout if timeout is _UNSET else timeout
+        job_id = f"job-{next(self._ids)}"
+        future = self._loop.create_future()
+        job = Job(
+            job_id, request, future,
+            timeout=job_timeout, on_cancel=self._kick,
+        )
+        self._jobs[job_id] = job
+        self._submitted += 1
+
+        cached = self._cache.get(request.cache_key)
+        if cached is not None:
+            job.cached = True
+            job.state = JobState.DONE
+            job.finished_at = job.submitted_at
+            self._counts[JobState.DONE] += 1
+            future.set_result(cached)
+            return JobHandle(job)
+
+        if len(self._queue) >= self.max_pending:
+            del self._jobs[job_id]
+            future.cancel()
+            raise AdmissionError(
+                f"the service's pending queue is full "
+                f"({self.max_pending} jobs); retry after some drain"
+            )
+        self._queue.append(job)
+        self._wakeup.set()
+        return JobHandle(job)
+
+    def get_job(self, job_id: str) -> Optional[JobHandle]:
+        """The handle for a previously submitted job id, if still known."""
+        job = self._jobs.get(job_id)
+        return JobHandle(job) if job is not None else None
+
+    # -- dispatch --------------------------------------------------------- #
+    def _kick(self) -> None:
+        """Thread-safe dispatcher nudge (used by handle.cancel)."""
+        try:
+            self._loop.call_soon_threadsafe(self._wakeup.set)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            if not self._queue:
+                if self._closing:
+                    return
+                await self._wakeup.wait()
+                self._wakeup.clear()
+                continue
+            kind, batch = self._next_batch()
+            if not batch:
+                continue
+            now = time.monotonic()
+            for job in batch:
+                job.state = JobState.RUNNING
+                job.started_at = now
+                job.attempts += 1
+            self._inflight = len(batch)
+            try:
+                if kind == "pooled":
+                    outcomes = await self._loop.run_in_executor(
+                        self._executor, self._run_pooled, batch
+                    )
+                else:
+                    # Direct runs share one workspace pool: the single
+                    # worker thread is the only consumer, so same-shape
+                    # requests stop allocating after the first.
+                    outcomes = await self._loop.run_in_executor(
+                        self._executor,
+                        functools.partial(
+                            run_direct, batch[0], workspace=self._workspace
+                        ),
+                    )
+                    outcomes = [outcomes]
+            finally:
+                self._inflight = 0
+            await self._apply_outcomes(outcomes)
+
+    def _run_pooled(self, jobs: Sequence[Job]) -> List[Outcome]:
+        """Worker-thread entry: acquire a healthy crew, run the batch."""
+        crew = self._pool.acquire()
+        return run_process_batch(crew, jobs)
+
+    def _next_batch(self) -> Tuple[str, List[Job]]:
+        """Pop the next unit of work, folding in admission batching.
+
+        Queued jobs whose cancellation was requested are finalized here
+        without running.  Small pooled jobs are taken as a *consecutive
+        prefix* (FIFO order is preserved — the batch never reaches past a
+        non-batchable job).
+        """
+        head: Optional[Job] = None
+        while self._queue:
+            candidate = self._queue.popleft()
+            if candidate.cancel_requested:
+                self._finalize(
+                    candidate, "cancelled",
+                    JobCancelledError(
+                        f"job {candidate.id} was cancelled while queued"
+                    ),
+                )
+                continue
+            head = candidate
+            break
+        if head is None:
+            return ("direct", [])
+        if not pooled_eligible(head):
+            return ("direct", [head])
+        batch = [head]
+        if head.request.tensor.nnz <= self.batch_nnz_limit:
+            while self._queue and len(batch) < self.batch_max:
+                nxt = self._queue[0]
+                if nxt.cancel_requested:
+                    self._queue.popleft()
+                    self._finalize(
+                        nxt, "cancelled",
+                        JobCancelledError(
+                            f"job {nxt.id} was cancelled while queued"
+                        ),
+                    )
+                    continue
+                if not (
+                    pooled_eligible(nxt)
+                    and nxt.request.tensor.nnz <= self.batch_nnz_limit
+                ):
+                    break
+                batch.append(self._queue.popleft())
+        return ("pooled", batch)
+
+    # -- outcome application (loop thread) -------------------------------- #
+    async def _apply_outcomes(self, outcomes: List[Outcome]) -> None:
+        retry: List[Job] = []
+        crashed = False
+        for job, kind, payload in outcomes:
+            if kind == "crash":
+                crashed = True
+                if job.attempts <= self.max_retries and not job.cancel_requested:
+                    retry.append(job)
+                    continue
+            self._finalize(job, kind, payload)
+        if crashed:
+            # Retire the crew whether or not anything retries: its workers
+            # may still map an arena that is gone.  reset() is cheap when
+            # the crash already killed everyone, and the worker thread is
+            # the right place to join processes from.
+            await self._loop.run_in_executor(self._executor, self._pool.reset)
+        for job in reversed(retry):
+            job.state = JobState.QUEUED
+            self._queue.appendleft(job)
+            self._retries += 1
+        if retry:
+            self._wakeup.set()
+
+    def _finalize(self, job: Job, kind: str, payload) -> None:
+        job.finished_at = time.monotonic()
+        future = job.future
+        if kind == "ok":
+            job.state = JobState.DONE
+            self._cache.put(job.request.cache_key, payload)
+            self._latencies.append(job.finished_at - job.submitted_at)
+            if not future.done():
+                future.set_result(payload)
+        elif kind == "cancelled":
+            job.state = JobState.CANCELLED
+            if not future.done():
+                future.set_exception(payload)
+        else:  # timeout, crash (retries exhausted), error
+            job.state = JobState.FAILED
+            if not future.done():
+                future.set_exception(payload)
+        self._counts[job.state] += 1
+
+    # -- observability ---------------------------------------------------- #
+    def metrics(self) -> dict:
+        """A point-in-time snapshot of the service's counters.
+
+        ``jobs``: submitted / per-terminal-state counts / retries, plus the
+        live queue depth and in-flight batch size.  ``cache``: the
+        :meth:`ResultCache.snapshot` accounting.  ``pool``: crew size,
+        generations served (across crew rebuilds) and crash resets.
+        ``latency_seconds``: end-to-end (submit → done) p50/p95/mean over
+        completed jobs.  ``jobs_per_second``: completed jobs over the
+        service's uptime.
+        """
+        done = self._counts[JobState.DONE]
+        latencies = sorted(self._latencies)
+        elapsed = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "jobs": {
+                "submitted": self._submitted,
+                "queued": len(self._queue),
+                "running": self._inflight,
+                "done": done,
+                "failed": self._counts[JobState.FAILED],
+                "cancelled": self._counts[JobState.CANCELLED],
+                "retries": self._retries,
+            },
+            "cache": self._cache.snapshot(),
+            "pool": {
+                "workers": self._pool.num_workers,
+                "generations": self._pool.generations,
+                "resets": self._pool.resets,
+            },
+            "latency_seconds": {
+                "count": len(latencies),
+                "p50": _percentile(latencies, 0.50),
+                "p95": _percentile(latencies, 0.95),
+                "mean": (
+                    sum(latencies) / len(latencies) if latencies else 0.0
+                ),
+            },
+            "jobs_per_second": (done / elapsed) if elapsed > 0 else 0.0,
+        }
