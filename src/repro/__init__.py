@@ -22,6 +22,9 @@ The public API is re-exported from the subpackages:
 * :mod:`repro.serving` — decomposition-as-a-service: an asyncio job engine
   (queue, cache, cancellation, metrics) over a persistent worker-process
   pool reused across requests.
+* :mod:`repro.resilience` — fault tolerance: sweep checkpoint/resume, the
+  graceful-degradation ladder + circuit breaker, the retry policy, and the
+  deterministic fault-injection harness.
 * :mod:`repro.data` — synthetic tensors (including analogs of the paper's
   four datasets) and FROSTT-style text IO.
 * :mod:`repro.experiments` — the per-table/figure reproduction harness.
@@ -41,6 +44,7 @@ from repro.core import (
     tucker_fit,
 )
 from repro.engine import HOOIEngine, WorkspacePool
+from repro.resilience import CheckpointState, Checkpointer
 from repro.serving import DecompositionService
 
 __version__ = "1.0.0"
@@ -56,5 +60,7 @@ __all__ = [
     "hooi",
     "tucker_fit",
     "DecompositionService",
+    "Checkpointer",
+    "CheckpointState",
     "__version__",
 ]

@@ -40,6 +40,8 @@ def decompose(
     callback: Optional[Callable[[int, float], None]] = None,
     workspace=None,
     cancel_check: Optional[Callable[[], None]] = None,
+    checkpoint=None,
+    resume=None,
     **option_kwargs,
 ):
     """Tucker-decompose ``tensor`` at the given rank(s), one call for every driver.
@@ -72,6 +74,13 @@ def decompose(
     callback / workspace / cancel_check:
         Passed through to the underlying driver (``workspace`` and
         ``cancel_check`` apply to the single-node engine only).
+    checkpoint / resume:
+        Sweep-boundary checkpointing and resume (single-node engine only):
+        ``checkpoint`` overrides the :class:`repro.resilience.Checkpointer`
+        built from ``checkpoint_dir`` / ``checkpoint_interval`` in the
+        options; ``resume`` is a checkpoint state, a file path, or
+        ``"auto"`` (see :func:`repro.core.hooi.hooi`).  The distributed
+        driver has no checkpoint seam yet and rejects both.
     **option_kwargs:
         Any :class:`HOOIOptions` field, e.g. ``trsvd_method="gram"``,
         ``tensor_format="csf"``, ``num_workers=4``, ``dtype="float32"``.
@@ -103,6 +112,14 @@ def decompose(
     base.update(option_kwargs)
 
     if execution == "distributed":
+        if checkpoint is not None or resume is not None:
+            raise ValueError(
+                "checkpoint=/resume= apply to the single-node engine only: "
+                "the distributed driver has no sweep-checkpoint seam yet "
+                "(rank-local state lives inside the simulated ranks) — run "
+                "the resumable job on execution='sequential'/'thread'/"
+                "'process', or drop the checkpoint arguments"
+            )
         if partition is None:
             raise ValueError(
                 "execution='distributed' needs a partition= (a "
@@ -131,4 +148,6 @@ def decompose(
         callback=callback,
         workspace=workspace,
         cancel_check=cancel_check,
+        checkpoint=checkpoint,
+        resume=resume,
     )

@@ -43,7 +43,14 @@ TTMC_STRATEGIES = ("per-mode", "dimtree")
 EXECUTIONS = ("sequential", "thread", "process")
 TENSOR_FORMATS = ("coo", "csf")
 KERNELS = ("numpy", "numba")
+FALLBACK_POLICIES = ("ladder", "none")
 VALIDATION_CONTEXTS = ("single-node", "distributed")
+
+#: Reasons a run ended (:attr:`HOOIResult.termination`): the fit improvement
+#: dropped below the tolerance, the sweep budget ran out, a ``cancel_check``
+#: requested a graceful stop, or a resumed checkpoint already satisfied the
+#: requested ``max_iterations`` so no new sweep ran.
+TERMINATIONS = ("converged", "max_iters", "cancelled", "resumed")
 
 
 @dataclass
@@ -110,6 +117,15 @@ class HOOIOptions:
     num_workers: int = 1
     tensor_format: str = "coo"
     kernel: str = "numpy"
+    # Resilience knobs (PR 8).  ``checkpoint_dir`` enables sweep-boundary
+    # checkpointing into that directory (atomic, content-hash verified;
+    # ``checkpoint_interval`` snapshots every k-th sweep); ``fallback``
+    # selects whether the serving layer may degrade a persistently failing
+    # job down the process→thread→sequential / numba→numpy / csf→coo
+    # ladder ("ladder", default) or must fail it loudly ("none").
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval: int = 1
+    fallback: str = "ladder"
 
     def validate(self, context: str = "single-node") -> "HOOIOptions":
         """Check the option values *and* their composition for a driver context.
@@ -184,6 +200,19 @@ class HOOIOptions:
         if kernel not in KERNELS:
             raise ValueError(
                 f"unknown kernel {kernel!r}: expected one of {KERNELS}"
+            )
+        fallback = self.fallback or "ladder"
+        if fallback not in FALLBACK_POLICIES:
+            raise ValueError(
+                f"unknown fallback policy {fallback!r}: expected one of "
+                f"{FALLBACK_POLICIES} ('ladder' lets a persistently failing "
+                "job degrade to a slower-but-working tier; 'none' fails it "
+                "once retries are exhausted)"
+            )
+        if int(self.checkpoint_interval) < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got "
+                f"{self.checkpoint_interval}"
             )
         if tensor_format == "csf":
             if strategy == "dimtree":
@@ -263,7 +292,8 @@ class HOOIOptions:
         for spec in fields(self):
             value = getattr(self, spec.name)
             if value is not None and spec.name in (
-                "max_iterations", "num_workers", "seed", "block_nnz"
+                "max_iterations", "num_workers", "seed", "block_nnz",
+                "checkpoint_interval",
             ):
                 value = int(value)
             out[spec.name] = value
@@ -317,6 +347,13 @@ class HOOIResult:
     ``fit_history`` holds one entry per tracked iteration; with
     ``track_fit=False`` it holds the single fit evaluated after the final
     iteration, so :attr:`fit` is always populated on a completed run.
+
+    ``completed_sweeps`` counts every completed sweep the factors embody —
+    including sweeps replayed from a resumed checkpoint — and
+    ``termination`` says *why* the run stopped (one of
+    :data:`TERMINATIONS`), so callers can tell a cancelled partial result
+    from a converged one.  ``resumed_sweeps`` is the checkpoint's
+    contribution (0 for a fresh run).
     """
 
     decomposition: TuckerTensor
@@ -325,6 +362,9 @@ class HOOIResult:
     converged: bool
     timings: TimingBreakdown
     trsvd_stats: List[TRSVDResult] = field(default_factory=list)
+    completed_sweeps: int = 0
+    termination: str = "max_iters"
+    resumed_sweeps: int = 0
 
     @property
     def fit(self) -> float:
@@ -352,6 +392,8 @@ def hooi(
     callback: Optional[Callable[[int, float], None]] = None,
     workspace=None,
     cancel_check: Optional[Callable[[], None]] = None,
+    checkpoint=None,
+    resume=None,
 ) -> HOOIResult:
     """Run sequential HOOI on a sparse tensor.
 
@@ -372,9 +414,23 @@ def hooi(
         runs (one is created per run otherwise).
     cancel_check:
         Optional zero-argument callable invoked at every mode boundary of
-        every sweep; raise from it to abort the run cooperatively (the
-        serving layer's cancellation/timeout seam — backend resources are
-        still released through the engine's ``finalize`` hook).
+        every sweep; raise from it to abort the run cooperatively, or return
+        truthy to stop *gracefully* at the next sweep boundary (the run ends
+        with a partial result and ``termination="cancelled"``).  Backend
+        resources are released through the engine's ``finalize`` hook either
+        way.
+    checkpoint:
+        Optional :class:`repro.resilience.Checkpointer` overriding the one
+        built from ``options.checkpoint_dir`` / ``checkpoint_interval``.
+        When either is active, every configured sweep boundary atomically
+        snapshots the run's full resumable state.
+    resume:
+        Resume a checkpointed run instead of starting from sweep 0: a
+        :class:`repro.resilience.CheckpointState`, a checkpoint file path,
+        or ``"auto"`` (load ``options.checkpoint_dir``'s rolling checkpoint
+        when present, start fresh otherwise).  The resumed run reproduces
+        the uninterrupted one's remaining sweeps; structural or numeric
+        option mismatches are rejected with an actionable error.
     """
     from repro.engine.dimtree import resolve_ttmc_backend
     from repro.engine.driver import HOOIEngine
@@ -387,7 +443,12 @@ def hooi(
         backend=resolve_ttmc_backend(options),
         workspace=workspace,
     )
-    return engine.run(callback=callback, cancel_check=cancel_check)
+    return engine.run(
+        callback=callback,
+        cancel_check=cancel_check,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
 
 
 def hooi_iteration_stats(result: HOOIResult) -> Dict[str, float]:

@@ -36,6 +36,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.core.sparse_tensor import as_supported_float
+from repro.resilience.faults import maybe_fail
 from repro.util.linalg import orthonormalize
 
 __all__ = [
@@ -426,6 +427,10 @@ def truncated_svd(
     plus the recovery ``U = Y V Σ⁻¹`` — the fast path for tall-and-skinny
     operands, with a squared-spectrum conditioning caveat).
     """
+    # Fault point "trsvd": the factor update of every mode of every sweep
+    # (see repro.resilience.faults; a single module-global None check when
+    # injection is disabled).
+    maybe_fail("trsvd")
     if method == "lanczos":
         return lanczos_svd(matrix, rank, **kwargs)
     if method == "randomized":

@@ -99,6 +99,8 @@ class HOOIEngine:
         *,
         callback: Optional[Callable[[int, float], None]] = None,
         cancel_check: Optional[Callable[[], None]] = None,
+        checkpoint=None,
+        resume=None,
     ) -> HOOIResult:
         """Execute the HOOI state machine and return the packaged result.
 
@@ -109,10 +111,36 @@ class HOOIEngine:
         unchanged, and ``finalize`` still releases the backend's per-run
         resources — a cancelled process-backend run tears down (or, on the
         serving crew, detaches) its shared segments exactly like a completed
-        one.
+        one.  Additionally, a *truthy return* from ``cancel_check`` at a
+        sweep boundary stops the run gracefully: the completed sweeps are
+        packaged into a partial result with ``termination="cancelled"``.
+
+        ``checkpoint`` is a :class:`repro.resilience.Checkpointer` (built
+        from ``options.checkpoint_dir`` when omitted) invoked after every
+        configured sweep; ``resume`` is a
+        :class:`~repro.resilience.checkpoint.CheckpointState` (or a path /
+        ``"auto"``) whose factors, fit history and sweep counter replace the
+        fresh start.  Resume state is installed *before* ``backend.prepare``
+        on purpose: the process backend packs ``eng.factors`` into its
+        shared arena during ``prepare``, so the workers must see the
+        checkpointed factors, not the initializer's.
         """
+        from repro.resilience.checkpoint import (
+            Checkpointer,
+            check_resume_compatible,
+            resolve_resume,
+            restore_rng_state,
+        )
+
         backend = self.backend
+        options = self.options
         timings = self.timings
+
+        if checkpoint is None and getattr(options, "checkpoint_dir", None):
+            checkpoint = Checkpointer(
+                options.checkpoint_dir,
+                interval=getattr(options, "checkpoint_interval", 1),
+            )
 
         self._primed_ttmc_out = set()
         backend.prepare_tensor(self)
@@ -121,11 +149,22 @@ class HOOIEngine:
                 np.asarray(f, dtype=self.dtype)
                 for f in backend.initial_factors(self)
             ]
+        resume_state = resolve_resume(resume, checkpoint)
+        if resume_state is not None:
+            check_resume_compatible(resume_state, self)
+            self.factors = [
+                np.ascontiguousarray(f, dtype=self.dtype)
+                for f in resume_state.factors
+            ]
+            restore_rng_state(resume_state.rng_state)
         with timings.time("symbolic"):
             backend.prepare(self)
         try:
             return self._run_iterations(
-                callback=callback, cancel_check=cancel_check
+                callback=callback,
+                cancel_check=cancel_check,
+                checkpoint=checkpoint,
+                resume_state=resume_state,
             )
         finally:
             # Per-run resources (e.g. the process backend's worker pool and
@@ -137,6 +176,8 @@ class HOOIEngine:
         *,
         callback: Optional[Callable[[int, float], None]] = None,
         cancel_check: Optional[Callable[[], None]] = None,
+        checkpoint=None,
+        resume_state=None,
     ) -> HOOIResult:
         """The iteration state machine (factored out so run() can finalize)."""
         options = self.options
@@ -148,10 +189,25 @@ class HOOIEngine:
         trsvd_stats: List[TRSVDResult] = []
         converged = False
         core = np.zeros(self.ranks, dtype=self.dtype)
-        iterations_run = 0
+        resumed_sweeps = 0
+        if resume_state is not None:
+            # A resumed run continues the checkpointed one: its core and fit
+            # history are real completed-sweep state, and the loop starts
+            # where the interrupted run stopped.
+            core = np.asarray(resume_state.core, dtype=self.dtype)
+            fit_history = list(resume_state.fit_history)
+            resumed_sweeps = int(resume_state.completed_sweeps)
+        iterations_run = resumed_sweeps
+        termination = "resumed" if resumed_sweeps > 0 else "max_iters"
 
-        for iteration in range(options.max_iterations):
+        for iteration in range(resumed_sweeps, options.max_iterations):
+            if cancel_check is not None and cancel_check():
+                # A truthy return (as opposed to a raise) requests a graceful
+                # stop: keep the completed sweeps as a partial result.
+                termination = "cancelled"
+                break
             iterations_run = iteration + 1
+            termination = "max_iters"
             backend.on_iteration_start(self, iteration)
             sweep_start = time.perf_counter()
             last_ttmc: Optional[np.ndarray] = None
@@ -182,11 +238,18 @@ class HOOIEngine:
                 fit_history.append(fit)
                 if callback is not None:
                     callback(iteration, fit)
-                if iteration > 0:
-                    improvement = fit_history[-1] - fit_history[-2]
-                    if abs(improvement) < options.tolerance:
-                        converged = True
-                        break
+            if checkpoint is not None:
+                # Snapshot strictly after the sweep's state is complete (core
+                # formed, fit recorded) and before the convergence decision,
+                # so the rolling checkpoint always embodies whole sweeps.
+                with timings.time("checkpoint"):
+                    checkpoint.on_sweep(self, iteration + 1, core, fit_history)
+            if options.track_fit and len(fit_history) >= 2:
+                improvement = fit_history[-1] - fit_history[-2]
+                if abs(improvement) < options.tolerance:
+                    converged = True
+                    termination = "converged"
+                    break
 
         if not fit_history:
             # track_fit=False skips per-iteration tracking, but the result's
@@ -203,4 +266,7 @@ class HOOIEngine:
             converged=converged,
             timings=timings,
             trsvd_stats=trsvd_stats,
+            completed_sweeps=iterations_run,
+            termination=termination,
+            resumed_sweeps=resumed_sweeps,
         )

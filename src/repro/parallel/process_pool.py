@@ -46,6 +46,7 @@ from repro.core.subset_ttmc import FiberGrouping, edge_update_groups, subset_wid
 from repro.core.kron import kron_row_length
 from repro.parallel.parallel_for import make_chunks
 from repro.parallel.shm import ShmArena, ShmView
+from repro.resilience.faults import maybe_fail
 
 __all__ = [
     "ProcessConfig",
@@ -238,6 +239,10 @@ def _generation_loop(worker_id: int, state: _WorkerState, task_q, done_q) -> Non
                 error = None
             except BaseException as exc:
                 error = f"{type(exc).__name__}: {exc}"
+            # Fault point "worker.ack": firing here (action="exit") kills the
+            # worker after it did the work but before the driver hears back —
+            # the scripted equivalent of a mid-task SIGKILL.
+            maybe_fail("worker.ack")
             done_q.put((task_id, worker_id, error))
     finally:
         state.close()
@@ -804,6 +809,7 @@ class HOOIProcessPool:
     def _dispatch(self, tasks: List[Tuple]) -> None:
         """Enqueue a batch of chunk descriptors and wait for all acks."""
         self._check_usable()
+        maybe_fail("pool.dispatch")
         pending = set()
         for task in tasks:
             task_id = self._task_counter

@@ -31,15 +31,34 @@ to ``resource_tracker.unregister`` — leaving exactly one owner: the arena.
 
 from __future__ import annotations
 
+import os
 import secrets
+import time
 import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
-__all__ = ["ShmArraySpec", "ShmArena", "ShmView", "attach_segment"]
+from repro.resilience.faults import maybe_fail
+
+__all__ = [
+    "ShmArraySpec",
+    "ShmArena",
+    "ShmView",
+    "attach_segment",
+    "cleanup_orphans",
+]
+
+#: Where POSIX shared memory appears as files (Linux); the orphan janitor
+#: scans this directory.
+SHM_DIR = "/dev/shm"
+
+#: The arena's segment-name prefix (``<prefix>-<hex8>-<n>``); the janitor
+#: only ever considers entries carrying it, so it cannot touch segments
+#: created by anything other than this library.
+SHM_PREFIX = "rpshm"
 
 
 @dataclass(frozen=True)
@@ -54,6 +73,7 @@ class ShmArraySpec:
 
 def attach_segment(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without taking tracker ownership."""
+    maybe_fail("shm.attach")
     try:
         return shared_memory.SharedMemory(name=name, track=False)
     except TypeError:
@@ -95,7 +115,7 @@ class ShmArena:
     humans) can spot this arena's entries in ``/dev/shm``.
     """
 
-    def __init__(self, prefix: str = "rpshm") -> None:
+    def __init__(self, prefix: str = SHM_PREFIX) -> None:
         self.token = f"{prefix}-{secrets.token_hex(4)}"
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
         self._arrays: Dict[str, np.ndarray] = {}
@@ -222,3 +242,60 @@ class ShmView:
             except (BufferError, OSError):
                 pass
         self._segments.clear()
+
+
+def cleanup_orphans(
+    *,
+    max_age_seconds: float = 3600.0,
+    dry_run: bool = False,
+    prefix: str = SHM_PREFIX,
+    shm_dir: str = SHM_DIR,
+) -> List[str]:
+    """Unlink stale repro-owned ``/dev/shm`` segments; return their names.
+
+    The arena's ``weakref.finalize`` teardown covers every in-process death,
+    but nothing in-process can cover ``SIGKILL`` / ``os._exit`` of the
+    *owner* — those leave named segments behind until reboot.  This janitor
+    scans ``shm_dir`` for entries carrying the library's segment prefix that
+    are older than ``max_age_seconds`` and unlinks them.
+
+    The age gate is what makes a sweep safe to run next to live services:
+    a healthy arena's segments are created and destroyed within one run,
+    so anything prefix-matched *and* old is an orphan of a dead owner — and
+    the default hour is far beyond any sane run's lifetime.  Segments
+    belonging to other software are never considered (prefix match).
+    ``dry_run=True`` reports what would be removed without touching
+    anything.  Missing ``shm_dir`` (non-Linux) is a no-op.
+
+    Wired as an opt-in startup sweep in
+    :class:`repro.serving.pool_manager.HOOIPoolManager` (``cleanup_orphans=
+    True``); also callable directly from operational tooling.
+    """
+    if max_age_seconds < 0:
+        raise ValueError(
+            f"max_age_seconds must be >= 0, got {max_age_seconds}"
+        )
+    try:
+        entries = os.listdir(shm_dir)
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []
+    now = time.time()
+    removed: List[str] = []
+    needle = f"{prefix}-"
+    for name in entries:
+        if not name.startswith(needle):
+            continue
+        path = os.path.join(shm_dir, name)
+        try:
+            age = now - os.stat(path).st_mtime
+        except OSError:
+            continue  # vanished between listdir and stat — someone beat us
+        if age < max_age_seconds:
+            continue
+        if not dry_run:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+        removed.append(name)
+    return removed

@@ -1,0 +1,63 @@
+"""The retry policy: bounded attempts with deterministic backoff.
+
+PR 7's serving layer hand-rolled its crash-retry rule as a bare
+``attempts <= max_retries`` comparison inline in ``service.py``; this
+module centralizes it so the serving layer, the degradation ladder and the
+tests all reason about one object.  The policy is deliberately
+deterministic — the backoff schedule is a pure function of the attempt
+number (capped exponential, no jitter), because the test suite replays
+crash scenarios and a randomized schedule would make wall-clock assertions
+flaky.  The pool itself is single-consumer, so the thundering-herd problem
+jitter exists to solve does not arise here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped-exponential, deterministic backoff.
+
+    ``max_retries`` counts *re*-tries: a job always gets attempt 1, then up
+    to ``max_retries`` further attempts.  ``delay(attempt)`` is the pause
+    before re-running attempt ``attempt`` (so ``delay(2)`` is the first
+    backoff): ``min(base_delay * multiplier**(attempt - 2), max_delay)``.
+    The serving defaults keep the first retry immediate
+    (``base_delay=0``) — a crashed crew is already being rebuilt, which is
+    backoff enough.
+    """
+
+    max_retries: int = 1
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+
+    def __post_init__(self) -> None:
+        if int(self.max_retries) < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+
+    def should_retry(self, attempts: int) -> bool:
+        """Whether a job that has made ``attempts`` attempts may go again."""
+        return attempts <= self.max_retries
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before running attempt ``attempt`` (>= 2)."""
+        if attempt <= 1 or self.base_delay == 0.0:
+            return 0.0
+        return min(
+            self.base_delay * self.multiplier ** (attempt - 2), self.max_delay
+        )

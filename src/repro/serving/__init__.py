@@ -8,7 +8,9 @@ job engine:
 * :class:`DecompositionService` — submit/await endpoint with admission
   control, FIFO dispatch, small-job batching onto single pool generations,
   an LRU result cache keyed by content fingerprints, cooperative
-  cancellation, per-job timeouts, crash retry and a metrics snapshot.
+  cancellation, per-job timeouts, crash retry with sweep-checkpoint resume,
+  a circuit-breaker-guarded degradation ladder and a metrics snapshot
+  (see :mod:`repro.resilience`).
 * :class:`JobHandle` / :class:`JobState` / :class:`JobRequest` — the job
   surface (see :mod:`repro.serving.jobs`).
 * :class:`HOOIPoolManager` / :class:`ResultCache` — the reusable pieces

@@ -45,6 +45,8 @@ from repro.parallel.process_pool import (
     ProcessConfig,
     WorkerCrashError,
 )
+from repro.resilience.checkpoint import CheckpointState
+from repro.resilience.faults import maybe_fail
 from repro.serving.jobs import Job, JobCancelledError, JobTimeoutError
 
 __all__ = [
@@ -54,8 +56,9 @@ __all__ = [
     "run_process_batch",
 ]
 
-#: Outcome kinds the service's dispatcher understands.
-OUTCOME_KINDS = ("ok", "cancelled", "timeout", "crash", "error")
+#: Outcome kinds the service's dispatcher understands ("breaker" is
+#: produced service-side when the pool's circuit is open).
+OUTCOME_KINDS = ("ok", "cancelled", "timeout", "crash", "error", "breaker")
 
 Outcome = Tuple[Job, str, object]
 
@@ -69,8 +72,12 @@ def pooled_eligible(job: Job) -> bool:
     layout and CSF does not compose with process execution at all
     (:meth:`HOOIOptions.validate` rejects it), so those shapes fall back to
     :func:`run_direct`.
+
+    Judged on the job's *effective* options: a job the degradation ladder
+    moved off the process tier routes through :func:`run_direct` from then
+    on, whatever its request asked for.
     """
-    opts = job.request.options
+    opts = job.effective_options
     return (
         opts.execution == "process"
         and (opts.ttmc_strategy or "per-mode") == "per-mode"
@@ -88,17 +95,34 @@ def _classify(job: Job, exc: BaseException) -> Outcome:
     return (job, "error", exc)
 
 
+def _job_resume(job: Job) -> Optional[CheckpointState]:
+    """The checkpoint state a retried/degraded attempt resumes from.
+
+    A first attempt never resumes (there is nothing to resume *from*, and a
+    stale rolling file would be rejected by the integrity/compat checks
+    anyway — the service keys each job's checkpoint file by its cache-key
+    fingerprints).  Later attempts load the rolling file when it exists;
+    one that died before its first sweep completed simply starts fresh.
+    """
+    if job.checkpointer is None or job.attempts <= 1:
+        return None
+    return job.checkpointer.load()
+
+
 def run_direct(job: Job, *, workspace: Optional[WorkspacePool] = None) -> Outcome:
     """Run one job through the ordinary driver on the calling thread."""
     request = job.request
     try:
+        maybe_fail("serving.run_direct")
         result = hooi(
             request.tensor,
             list(request.ranks),
-            request.options,
+            job.effective_options,
             callback=job.progress_callback,
             workspace=workspace,
             cancel_check=job.make_cancel_check(),
+            checkpoint=job.checkpointer,
+            resume=_job_resume(job),
         )
     except BaseException as exc:
         return _classify(job, exc)
@@ -158,27 +182,38 @@ class PooledProcessBackend(SequentialBackend):
         pass
 
 
-def _prepare_member(job: Job) -> Tuple[SparseTensor, Dict, List[np.ndarray]]:
+def _prepare_member(
+    job: Job,
+) -> Tuple[SparseTensor, Dict, List[np.ndarray], Optional[CheckpointState]]:
     """Apply the dtype policy and build symbolic data + initial factors.
 
     Mirrors the engine's own setup order (``prepare_tensor`` →
     ``initial_factors`` → ``prepare``) so a pooled run is bit-for-bit the
-    computation a direct ``execution="process"`` run performs.
+    computation a direct ``execution="process"`` run performs.  A resumed
+    attempt substitutes the checkpoint's factors here — the batch arena
+    packs every member's factors at construction time, so the workers must
+    see the checkpointed state, not the initializer's.
     """
     request = job.request
-    opts = request.options
+    opts = job.effective_options
     dtype = resolve_dtype(opts.dtype)
     tensor = request.tensor
     if isinstance(tensor, SparseTensor):
         tensor = tensor.astype(dtype)
-    factors = [
-        np.asarray(f, dtype=dtype)
-        for f in initialize_factors(
-            tensor, list(request.ranks), init=opts.init, seed=opts.seed
-        )
-    ]
+    resume = _job_resume(job)
+    if resume is not None:
+        factors = [
+            np.ascontiguousarray(f, dtype=dtype) for f in resume.factors
+        ]
+    else:
+        factors = [
+            np.asarray(f, dtype=dtype)
+            for f in initialize_factors(
+                tensor, list(request.ranks), init=opts.init, seed=opts.seed
+            )
+        ]
     symbolic = {mode: symbolic_ttmc(tensor, mode) for mode in range(tensor.order)}
-    return tensor, symbolic, factors
+    return tensor, symbolic, factors, resume
 
 
 def run_process_batch(
@@ -197,15 +232,17 @@ def run_process_batch(
     """
     members = []
     try:
+        maybe_fail("serving.run_batch")
         for job in jobs:
-            tensor, symbolic, factors = _prepare_member(job)
-            opts = job.request.options
+            tensor, symbolic, factors, resume = _prepare_member(job)
+            opts = job.effective_options
             members.append(
                 (
                     job,
                     tensor,
                     symbolic,
                     factors,
+                    resume,
                     BatchJobSpec(
                         job=job.id,
                         tensor=tensor,
@@ -224,7 +261,7 @@ def run_process_batch(
 
     try:
         pool = HOOIProcessPool.for_per_mode_batch(
-            [m[4] for m in members],
+            [m[5] for m in members],
             np.float64,
             config=ProcessConfig(num_workers=crew.num_workers),
             crew=crew,
@@ -234,7 +271,7 @@ def run_process_batch(
 
     outcomes: List[Outcome] = []
     try:
-        for job, tensor, symbolic, factors, _spec in members:
+        for job, tensor, symbolic, factors, resume, _spec in members:
             try:
                 backend = PooledProcessBackend(
                     pool, job.id, tensor, symbolic, factors
@@ -242,12 +279,14 @@ def run_process_batch(
                 engine = HOOIEngine(
                     tensor,
                     list(job.request.ranks),
-                    job.request.options,
+                    job.effective_options,
                     backend=backend,
                 )
                 result = engine.run(
                     callback=job.progress_callback,
                     cancel_check=job.make_cancel_check(),
+                    checkpoint=job.checkpointer,
+                    resume=resume,
                 )
             except BaseException as exc:
                 outcomes.append(_classify(job, exc))

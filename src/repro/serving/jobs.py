@@ -198,6 +198,32 @@ class Job:
         self.progress: Optional[Tuple[int, float]] = None
         self._cancel_flag = threading.Event()
         self._on_cancel = on_cancel
+        # Resilience state (PR 8).  ``checkpointer`` is attached by the
+        # service when it runs with a checkpoint directory; retried attempts
+        # resume from its rolling file instead of sweep 0.  ``fallback_step``
+        # records the ladder rung a degraded job was moved to (None while on
+        # its requested tier); ``resumed_sweeps`` accumulates the sweeps
+        # recovered from checkpoints across this job's attempts.
+        self.checkpointer = None
+        self.fallback_steps: list = []
+        self.resumed_sweeps = 0
+
+    @property
+    def effective_options(self) -> HOOIOptions:
+        """The options this job actually runs with.
+
+        Identical to the request's options until the degradation ladder
+        moves the job to lower tiers (``fallback_steps`` applied in order);
+        the *request* options (and therefore the cache key and
+        fingerprints) never change — degradation is an execution detail,
+        not a different request.
+        """
+        if not self.fallback_steps:
+            return self.request.options
+        data = self.request.options.to_dict()
+        for step in self.fallback_steps:
+            data[step.field] = step.to_value
+        return HOOIOptions.from_dict(data)
 
     # -- cancellation (callable from any thread) -------------------------- #
     def request_cancel(self) -> None:

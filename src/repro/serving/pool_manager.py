@@ -9,6 +9,15 @@ out), the explicit :meth:`~HOOIPoolManager.reset` the crash-retry path
 calls, and final teardown.  Cumulative counters (``resets``,
 ``generations``) survive crew replacement so the metrics snapshot reflects
 the service's whole lifetime, not the current crew's.
+
+Since PR 8 the manager also hosts the process tier's
+:class:`~repro.resilience.degrade.CircuitBreaker`: consecutive pooled-batch
+failures open the circuit and :meth:`acquire` raises
+:class:`~repro.resilience.degrade.CircuitOpenError` for the cooldown, so
+the service degrades jobs down the fallback ladder immediately instead of
+burning retries against a broken tier.  An opt-in startup sweep
+(``cleanup_orphans=True``) reclaims stale ``/dev/shm`` segments a previous
+SIGKILL'd owner left behind (:func:`repro.parallel.shm.cleanup_orphans`).
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ from typing import Optional
 
 from repro.kernels.registry import kernel_available, warmup_kernels
 from repro.parallel.process_pool import PersistentWorkerCrew
+from repro.parallel.shm import cleanup_orphans as _cleanup_shm_orphans
+from repro.resilience.degrade import CircuitBreaker, CircuitOpenError
 
 __all__ = ["HOOIPoolManager"]
 
@@ -28,6 +39,12 @@ class HOOIPoolManager:
     Thread-safe: :meth:`acquire` / :meth:`reset` are called from the
     service's worker thread while :meth:`close` and the metrics reads happen
     on the event-loop thread.
+
+    ``breaker`` guards the whole process tier (pass ``None`` to disable —
+    acquire then never raises :class:`CircuitOpenError`); callers report
+    batch outcomes through :meth:`record_success` / :meth:`record_failure`.
+    ``cleanup_orphans=True`` runs an age-gated sweep of stale repro-owned
+    shared-memory segments once, before the first crew is built.
     """
 
     def __init__(
@@ -36,20 +53,35 @@ class HOOIPoolManager:
         *,
         start_method: Optional[str] = None,
         startup_timeout: float = 120.0,
+        breaker: Optional[CircuitBreaker] = None,
+        cleanup_orphans: bool = False,
+        orphan_max_age: float = 3600.0,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(num_workers)
         self.start_method = start_method
         self.startup_timeout = startup_timeout
+        self.breaker = breaker
         self.resets = 0
         self._generations_retired = 0
         self._crew: Optional[PersistentWorkerCrew] = None
         self._closed = False
         self._lock = threading.Lock()
+        self.orphans_removed: tuple = ()
+        if cleanup_orphans:
+            self.orphans_removed = tuple(
+                _cleanup_shm_orphans(max_age_seconds=orphan_max_age)
+            )
 
     def acquire(self) -> PersistentWorkerCrew:
-        """A healthy crew, building or transparently replacing as needed."""
+        """A healthy crew, building or transparently replacing as needed.
+
+        Raises :class:`CircuitOpenError` while the breaker is open — the
+        caller should degrade the work rather than wait.
+        """
+        if self.breaker is not None:
+            self.breaker.before_call()
         with self._lock:
             if self._closed:
                 raise RuntimeError("the pool manager is closed")
@@ -62,6 +94,22 @@ class HOOIPoolManager:
                     startup_timeout=self.startup_timeout,
                 )
             return self._crew
+
+    # -- breaker bookkeeping (no-ops without a breaker) ------------------- #
+    def record_success(self) -> None:
+        """Report a completed pooled batch (closes a half-open circuit)."""
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def record_failure(self) -> None:
+        """Report a failed pooled batch (may trip the circuit)."""
+        if self.breaker is not None:
+            self.breaker.record_failure()
+
+    @property
+    def breaker_state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"``, or ``"disabled"``."""
+        return self.breaker.state if self.breaker is not None else "disabled"
 
     def _retire_locked(self) -> None:
         crew, self._crew = self._crew, None

@@ -42,12 +42,21 @@ import asyncio
 import functools
 import itertools
 import time
+import warnings
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.hooi import HOOIOptions
 from repro.engine.workspace import WorkspacePool
+from repro.resilience.checkpoint import Checkpointer
+from repro.resilience.degrade import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DegradationLadder,
+)
+from repro.resilience.retry import RetryPolicy
 from repro.serving.cache import ResultCache
 from repro.serving.executor import (
     Outcome,
@@ -105,11 +114,31 @@ class DecompositionService:
         (None = unlimited).  Timeouts abort cooperatively at the next mode
         boundary and surface as :class:`JobTimeoutError`.
     max_retries:
-        How many times a job is requeued after a worker crash before it
-        fails with the :class:`~repro.parallel.process_pool.WorkerCrashError`.
+        How many times a job is requeued after a worker crash before the
+        fallback ladder (or, under ``fallback="none"``, the
+        :class:`~repro.parallel.process_pool.WorkerCrashError`) takes over.
+        Shorthand for ``retry_policy=RetryPolicy(max_retries=...)``.
+    retry_policy:
+        Full :class:`~repro.resilience.retry.RetryPolicy` (attempt bound +
+        deterministic backoff schedule); overrides ``max_retries``.
     warmup:
         Spawn the crew and pre-compile available kernel tiers at
         :meth:`start` instead of on the first request.
+    checkpoint_dir / checkpoint_interval:
+        When set, every running job checkpoints its HOOI state at sweep
+        boundaries into per-job files under ``checkpoint_dir`` (named by
+        the job's cache-key fingerprints), and the crash-retry path resumes
+        from the last good sweep instead of recomputing from sweep 0.  The
+        file is removed when its job completes.
+    breaker_threshold / breaker_cooldown:
+        The process-pool circuit breaker: ``breaker_threshold`` consecutive
+        pooled-batch failures open the circuit for ``breaker_cooldown``
+        seconds, during which pooled jobs degrade immediately (no retries
+        against a broken tier) and a half-open probe re-tests the pool.
+        ``breaker_threshold=0`` disables the breaker.
+    cleanup_orphans:
+        Run an age-gated sweep of stale repro-owned ``/dev/shm`` segments
+        (left by previously SIGKILL'd owners) at construction.
     """
 
     def __init__(
@@ -122,8 +151,14 @@ class DecompositionService:
         batch_nnz_limit: int = 50_000,
         default_timeout: Optional[float] = None,
         max_retries: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
         warmup: bool = True,
         start_method: Optional[str] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_interval: int = 1,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        cleanup_orphans: bool = False,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -131,13 +166,39 @@ class DecompositionService:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        if breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {breaker_threshold}"
+            )
         self.max_pending = max_pending
         self.batch_max = batch_max
         self.batch_nnz_limit = batch_nnz_limit
         self.default_timeout = default_timeout
-        self.max_retries = max_retries
+        self._retry_policy = retry_policy or RetryPolicy(max_retries=max_retries)
+        self.max_retries = self._retry_policy.max_retries
         self._warmup = warmup
-        self._pool = HOOIPoolManager(num_workers, start_method=start_method)
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_interval = int(checkpoint_interval)
+        breaker = (
+            CircuitBreaker(
+                failure_threshold=breaker_threshold, cooldown=breaker_cooldown
+            )
+            if breaker_threshold > 0
+            else None
+        )
+        self._pool = HOOIPoolManager(
+            num_workers,
+            start_method=start_method,
+            breaker=breaker,
+            cleanup_orphans=cleanup_orphans,
+        )
+        self._ladder = DegradationLadder()
         self._cache = ResultCache(cache_capacity)
         self._queue: Deque[Job] = deque()
         self._jobs: Dict[str, Job] = {}
@@ -149,6 +210,8 @@ class DecompositionService:
         self._counts = {state: 0 for state in JobState}
         self._submitted = 0
         self._retries = 0
+        self._resumed_sweeps = 0
+        self._fallbacks: Dict[str, int] = {}
         self._latencies: List[float] = []
         self._started_at: Optional[float] = None
 
@@ -252,6 +315,18 @@ class DecompositionService:
                 f"the service's pending queue is full "
                 f"({self.max_pending} jobs); retry after some drain"
             )
+        if self.checkpoint_dir is not None:
+            # One rolling checkpoint file per logical request, keyed by the
+            # cache-key fingerprints: a crash-retried attempt of the same
+            # submission finds its own sweeps and nothing else's.
+            job.checkpointer = Checkpointer(
+                self.checkpoint_dir,
+                interval=self.checkpoint_interval,
+                filename=(
+                    f"{request.tensor_fingerprint[:16]}-"
+                    f"{request.request_fingerprint[:16]}.ckpt.npz"
+                ),
+            )
         self._queue.append(job)
         self._wakeup.set()
         return JobHandle(job)
@@ -307,9 +382,24 @@ class DecompositionService:
             await self._apply_outcomes(outcomes)
 
     def _run_pooled(self, jobs: Sequence[Job]) -> List[Outcome]:
-        """Worker-thread entry: acquire a healthy crew, run the batch."""
-        crew = self._pool.acquire()
-        return run_process_batch(crew, jobs)
+        """Worker-thread entry: acquire a healthy crew, run the batch.
+
+        An open circuit breaker surfaces as ``"breaker"`` outcomes — the
+        dispatcher degrades those jobs down the ladder without burning
+        retries against a tier that is known broken.  Batch results feed
+        the breaker: any crash counts as a pool failure, a crash-free batch
+        as a success.
+        """
+        try:
+            crew = self._pool.acquire()
+        except CircuitOpenError as exc:
+            return [(job, "breaker", exc) for job in jobs]
+        outcomes = run_process_batch(crew, jobs)
+        if any(kind == "crash" for _job, kind, _payload in outcomes):
+            self._pool.record_failure()
+        else:
+            self._pool.record_success()
+        return outcomes
 
     def _next_batch(self) -> Tuple[str, List[Job]]:
         """Pop the next unit of work, folding in admission batching.
@@ -360,12 +450,29 @@ class DecompositionService:
     # -- outcome application (loop thread) -------------------------------- #
     async def _apply_outcomes(self, outcomes: List[Outcome]) -> None:
         retry: List[Job] = []
+        degraded: List[Job] = []
         crashed = False
+        backoff = 0.0
         for job, kind, payload in outcomes:
             if kind == "crash":
                 crashed = True
-                if job.attempts <= self.max_retries and not job.cancel_requested:
+                if (
+                    self._retry_policy.should_retry(job.attempts)
+                    and not job.cancel_requested
+                ):
                     retry.append(job)
+                    backoff = max(
+                        backoff, self._retry_policy.delay(job.attempts + 1)
+                    )
+                    continue
+                if not job.cancel_requested and self._degrade(job, payload):
+                    degraded.append(job)
+                    continue
+            elif kind == "breaker":
+                # The pool is known broken: skip retries entirely and step
+                # the job down the ladder now (or fail it if it cannot).
+                if not job.cancel_requested and self._degrade(job, payload):
+                    degraded.append(job)
                     continue
             self._finalize(job, kind, payload)
         if crashed:
@@ -374,18 +481,64 @@ class DecompositionService:
             # the crash already killed everyone, and the worker thread is
             # the right place to join processes from.
             await self._loop.run_in_executor(self._executor, self._pool.reset)
-        for job in reversed(retry):
+        if backoff > 0.0:
+            # Deterministic bounded backoff before the crashed jobs run
+            # again (RetryPolicy; 0 under the defaults).
+            await asyncio.sleep(backoff)
+        for job in reversed(degraded + retry):
             job.state = JobState.QUEUED
             self._queue.appendleft(job)
-            self._retries += 1
-        if retry:
+        self._retries += len(retry)
+        if retry or degraded:
             self._wakeup.set()
+
+    def _degrade(self, job: Job, cause: BaseException) -> bool:
+        """Move a job one ladder rung down; False when it must fail instead.
+
+        Consulted when the pool tier failed it *terminally* — retries
+        exhausted or circuit open.  Honors the request's ``fallback``
+        policy; the descent is recorded on the job (``fallback_steps``, so
+        ``effective_options`` and the dispatcher's routing change) and in
+        the per-tier ``fallbacks`` metrics, and announced as a warning —
+        silent substitution of a slower tier would make "the service got
+        slow" undebuggable.
+        """
+        if (job.request.options.fallback or "ladder") != "ladder":
+            return False
+        opts = job.effective_options
+        step = self._ladder.next_step(
+            execution=opts.execution or "sequential",
+            kernel=opts.kernel or "numpy",
+            tensor_format=opts.tensor_format or "coo",
+        )
+        if step is None:
+            return False
+        job.fallback_steps.append(step)
+        self._fallbacks[step.tier] = self._fallbacks.get(step.tier, 0) + 1
+        warnings.warn(
+            f"job {job.id}: {type(cause).__name__} on the "
+            f"{step.from_value!r} tier after {job.attempts} attempt(s); "
+            f"degrading {step.describe()} (same numerics, lower "
+            "parallelism — see README 'Fault tolerance & graceful "
+            "degradation')",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return True
 
     def _finalize(self, job: Job, kind: str, payload) -> None:
         job.finished_at = time.monotonic()
         future = job.future
         if kind == "ok":
             job.state = JobState.DONE
+            resumed = int(getattr(payload, "resumed_sweeps", 0))
+            if resumed:
+                job.resumed_sweeps = resumed
+                self._resumed_sweeps += resumed
+            if job.checkpointer is not None:
+                # The rolling checkpoint served its purpose; a stale file
+                # must not shadow a future identical submission.
+                job.checkpointer.discard()
             self._cache.put(job.request.cache_key, payload)
             self._latencies.append(job.finished_at - job.submitted_at)
             if not future.done():
@@ -404,13 +557,16 @@ class DecompositionService:
     def metrics(self) -> dict:
         """A point-in-time snapshot of the service's counters.
 
-        ``jobs``: submitted / per-terminal-state counts / retries, plus the
-        live queue depth and in-flight batch size.  ``cache``: the
-        :meth:`ResultCache.snapshot` accounting.  ``pool``: crew size,
-        generations served (across crew rebuilds) and crash resets.
-        ``latency_seconds``: end-to-end (submit → done) p50/p95/mean over
-        completed jobs.  ``jobs_per_second``: completed jobs over the
-        service's uptime.
+        ``jobs``: submitted / per-terminal-state counts / retries /
+        checkpoint-resumed sweeps, plus the live queue depth and in-flight
+        batch size.  ``cache``: the :meth:`ResultCache.snapshot`
+        accounting.  ``pool``: crew size, generations served (across crew
+        rebuilds), crash resets and the circuit breaker's state.
+        ``fallbacks``: per-destination-tier degradation counts (e.g.
+        ``{"thread": 1}`` after one process→thread descent; empty while
+        nothing degraded).  ``latency_seconds``: end-to-end (submit → done)
+        p50/p95/mean over completed jobs.  ``jobs_per_second``: completed
+        jobs over the service's uptime.
         """
         done = self._counts[JobState.DONE]
         latencies = sorted(self._latencies)
@@ -428,13 +584,16 @@ class DecompositionService:
                 "failed": self._counts[JobState.FAILED],
                 "cancelled": self._counts[JobState.CANCELLED],
                 "retries": self._retries,
+                "resumed_sweeps": self._resumed_sweeps,
             },
             "cache": self._cache.snapshot(),
             "pool": {
                 "workers": self._pool.num_workers,
                 "generations": self._pool.generations,
                 "resets": self._pool.resets,
+                "breaker_state": self._pool.breaker_state,
             },
+            "fallbacks": dict(self._fallbacks),
             "latency_seconds": {
                 "count": len(latencies),
                 "p50": _percentile(latencies, 0.50),

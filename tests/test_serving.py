@@ -386,8 +386,11 @@ class TestCrashRetry:
 
         async def main():
             async with _service(max_retries=1, warmup=False) as service:
+                # fallback="none" opts out of the degradation ladder: this
+                # test asserts the loud-failure path stays available.
                 handle = await service.submit(
-                    medium_tensor_3d, 3, execution="process", **GRAM
+                    medium_tensor_3d, 3, execution="process",
+                    fallback="none", **GRAM
                 )
                 with pytest.raises(WorkerCrashError):
                     await handle.result()
@@ -397,6 +400,7 @@ class TestCrashRetry:
         assert state is JobState.FAILED
         assert len(calls) == 2  # first attempt + one bounded retry
         assert metrics["jobs"]["retries"] == 1
+        assert metrics["fallbacks"] == {}
 
 
 # --------------------------------------------------------------------------- #
