@@ -27,6 +27,25 @@ def median_time(fn, *args, rounds: int = 3) -> float:
     return float(np.median(times))
 
 
+def interleaved_median_times(candidates, rounds: int = 5):
+    """Median seconds of several ``(fn, args)`` candidates, rounds interleaved.
+
+    Running candidate A's rounds back-to-back and *then* candidate B's lets
+    machine drift (thermal throttling, a background process spinning up)
+    masquerade as a performance difference.  Interleaving — one round of
+    each per pass — makes both sample the same noise, which is what a gate
+    comparing two close configurations needs.  Returns one median per
+    candidate, in order.
+    """
+    times = [[] for _ in candidates]
+    for _ in range(rounds):
+        for slot, (fn, args) in enumerate(candidates):
+            start = time.perf_counter()
+            fn(*args)
+            times[slot].append(time.perf_counter() - start)
+    return [float(np.median(t)) for t in times]
+
+
 def sweep_width(tensor, rank: int) -> int:
     return kron_row_length([rank] * (tensor.order - 1))
 

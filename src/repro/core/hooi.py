@@ -29,7 +29,14 @@ from repro.core.trsvd import TRSVDResult
 from repro.core.tucker import TuckerTensor
 from repro.util.timing import TimingBreakdown
 
-__all__ = ["HOOIOptions", "HOOIResult", "hooi", "hooi_iteration_stats"]
+__all__ = [
+    "AXIS_DEFAULTS",
+    "HOOIOptions",
+    "HOOIResult",
+    "hooi",
+    "hooi_iteration_stats",
+    "normalize_axis_fields",
+]
 
 #: Values each option axis accepts, anywhere.  Context-specific composition
 #: rules live in :meth:`HOOIOptions.validate`; the conformance matrix
@@ -51,6 +58,34 @@ VALIDATION_CONTEXTS = ("single-node", "distributed")
 #: requested a graceful stop, or a resumed checkpoint already satisfied the
 #: requested ``max_iterations`` so no new sweep ran.
 TERMINATIONS = ("converged", "max_iters", "cancelled", "resumed")
+
+#: Concrete spellings the optional axis fields normalize to.
+#: :meth:`HOOIOptions.validate` writes these back onto the instance, so a
+#: validated options object never carries a ``None`` axis;
+#: :func:`normalize_axis_fields` applies the same normalization to
+#: serialized option dicts (checkpoints written by pre-normalization builds
+#: may have recorded ``None`` spellings).
+AXIS_DEFAULTS: Dict[str, str] = {
+    "ttmc_strategy": "per-mode",
+    "execution": "sequential",
+    "tensor_format": "coo",
+    "kernel": "numpy",
+    "fallback": "ladder",
+}
+
+
+def normalize_axis_fields(data: Mapping[str, object]) -> Dict[str, object]:
+    """Copy an options dict with ``None`` axis fields made concrete.
+
+    Only keys that are *present and None* are rewritten; absent keys stay
+    absent (partial dicts keep their default-insensitive semantics via
+    :meth:`HOOIOptions.from_dict`).
+    """
+    out = dict(data)
+    for key, default in AXIS_DEFAULTS.items():
+        if key in out and out[key] is None:
+            out[key] = default
+    return out
 
 
 @dataclass
@@ -82,12 +117,14 @@ class HOOIOptions:
     on) or ``"csf"`` (Compressed Sparse Fiber trees,
     :mod:`repro.sparse.csf` — shared index prefixes stored once, TTMc as
     vectorized fiber-segment sweeps; one rooted tree per mode by default).
-    CSF replaces the TTMc evaluation strategy wholesale, so it composes
-    with ``execution="sequential"|"thread"`` and every ``trsvd_method`` /
-    ``dtype`` / distributed grain, but *not* with
-    ``ttmc_strategy="dimtree"`` (two competing TTMc strategies — pick one)
-    nor, yet, with ``execution="process"`` (the CSF level arrays are not
-    exposed through the shared-memory worker pool).
+    CSF composes with every ``execution`` value, every ``trsvd_method`` /
+    ``dtype`` / distributed grain, and with both ``ttmc_strategy`` values:
+    ``"per-mode"`` runs one rooted CSF tree per mode, ``"dimtree"`` builds
+    the dimension tree's nodes over the shared CSF tree's fiber subtrees
+    (the leaf matricizations and subset-fiber updates walk the compressed
+    layout instead of grouped COO rows), and ``"process"`` serializes the
+    per-level CSF arrays into the shared-memory arena so each worker
+    attaches the trees once and sweeps disjoint root-fiber slabs lock-free.
     ``kernel`` selects the *implementation tier* of the TTMc inner loops:
     ``"numpy"`` (default — the vectorized kernels) or ``"numba"`` (fused,
     JIT-compiled loop bodies, :mod:`repro.kernels` — same numerics, one
@@ -95,8 +132,9 @@ class HOOIOptions:
     numba tier requires the numba package and composes with both tensor
     formats, every execution model and the distributed grains (each rank /
     worker runs the compiled loops on its local rows), but not with
-    ``ttmc_strategy="dimtree"`` (the dimension tree's subset-fiber kernels
-    have no compiled implementation yet).  On the distributed
+    ``ttmc_strategy="dimtree"`` — the one remaining composition hole,
+    fail-fast with the missing entry points named
+    (:data:`repro.kernels.MISSING_DIMTREE_KERNELS`).  On the distributed
     driver every rank runs the options locally (hybrid MPI+threads ranks,
     rank-local dimension trees or CSF trees); what composes per context is
     defined by :meth:`validate` and specified executable-y by
@@ -214,41 +252,13 @@ class HOOIOptions:
                 f"checkpoint_interval must be >= 1, got "
                 f"{self.checkpoint_interval}"
             )
-        if tensor_format == "csf":
-            if strategy == "dimtree":
-                raise ValueError(
-                    "tensor_format='csf' does not compose with "
-                    "ttmc_strategy='dimtree' yet: a dimension tree built "
-                    "over CSF subtrees (SPLATT-style) is still an open "
-                    "ROADMAP item, so the two TTMc strategies cannot be "
-                    "combined — run csf with ttmc_strategy='per-mode' (its "
-                    "rooted fiber trees already share partial products "
-                    "within each sweep), and for faster CSF sweeps use the "
-                    "compiled kernel tier instead (kernel='numba', README "
-                    "'Choosing a kernel tier')"
-                )
-            if execution == "process":
-                raise ValueError(
-                    "tensor_format='csf' with execution='process' is not "
-                    "implemented: the CSF level arrays are not exposed "
-                    "through the shared-memory worker pool yet — use "
-                    "execution='thread' for parallel CSF sweeps, or "
-                    "tensor_format='coo' with the process backend"
-                )
         if kernel == "numba":
-            if strategy == "dimtree":
-                raise ValueError(
-                    "kernel='numba' does not compose with "
-                    "ttmc_strategy='dimtree': the dimension tree's "
-                    "subset-fiber kernels have no compiled implementation "
-                    "yet — use kernel='numpy' with the dimtree strategy, or "
-                    "the numba tier with ttmc_strategy='per-mode' (either "
-                    "tensor format)"
-                )
             # Import here: repro.kernels is a leaf package, but keeping core
             # importable without it costs nothing.
-            from repro.kernels import require_kernel
+            from repro.kernels import missing_dimtree_kernel_message, require_kernel
 
+            if strategy == "dimtree":
+                raise ValueError(missing_dimtree_kernel_message())
             require_kernel(kernel)
 
         if context == "distributed":
@@ -268,6 +278,16 @@ class HOOIOptions:
                     "execution='thread' for hybrid rank×thread runs, or the "
                     "single-node drivers for process execution"
                 )
+        # Normalize the optional axis fields to their concrete spellings.
+        # Downstream consumers compare options structurally —
+        # ``options_fingerprint``, ``check_resume_compatible``,
+        # ``DegradationLadder.effective_options`` — and must never see a
+        # ``None``-vs-concrete split for the same configuration.
+        self.ttmc_strategy = strategy
+        self.execution = execution
+        self.tensor_format = tensor_format
+        self.kernel = kernel
+        self.fallback = fallback
         return self
 
     # -- serialization contract ------------------------------------------ #

@@ -38,6 +38,7 @@ from repro.core.ttmc import default_block_size
 __all__ = [
     "FiberGrouping",
     "group_fibers",
+    "group_fibers_presorted",
     "subset_widths",
     "kron_insert",
     "edge_update_groups",
@@ -59,11 +60,20 @@ class FiberGrouping:
     segptr:
         Array of length ``num_groups + 1``; parent positions for group ``g``
         occupy ``perm[segptr[g]:segptr[g + 1]]``.
+    contiguous:
+        True when ``perm`` is the identity — group ``g``'s parent positions
+        are literally the slice ``segptr[g]:segptr[g + 1]``.  Numeric passes
+        may then read the parent payload through views instead of fancy
+        gathers.  :func:`group_fibers_presorted` always produces contiguous
+        groupings; :func:`group_fibers` never claims the flag (even when its
+        lexsort happens to be the identity) so the flag stays a structural
+        guarantee, not a data-dependent accident.
     """
 
     indices: np.ndarray
     perm: np.ndarray
     segptr: np.ndarray
+    contiguous: bool = False
 
     @property
     def num_groups(self) -> int:
@@ -108,6 +118,48 @@ def group_fibers(index_columns: np.ndarray) -> FiberGrouping:
     starts = np.flatnonzero(boundary).astype(np.int64)
     segptr = np.concatenate([starts, [m]]).astype(np.int64)
     return FiberGrouping(indices=sorted_cols[boundary], perm=perm, segptr=segptr)
+
+
+def group_fibers_presorted(index_columns: np.ndarray) -> FiberGrouping:
+    """Group rows that are already in ascending lexicographic order.
+
+    The CSF construction's change-flag walk, lifted to tree edges: when the
+    parent's index tuples are lex-sorted, any *prefix* of its columns is
+    non-decreasing too, so equal tuples are already contiguous and in order.
+    The permutation is then the identity and the segment boundaries fall out
+    of one vectorized row-change comparison — no lexsort.  This is how a
+    CSF-sourced dimension tree derives every left-child grouping (and, since
+    :func:`group_fibers` emits sorted tuples, every deeper grouping of a COO
+    tree's sorted internal nodes).
+
+    Equal-valued input rows must be adjacent; rows out of order would be
+    silently split into separate groups, so callers are responsible for the
+    sortedness invariant.
+    """
+    cols = np.asarray(index_columns, dtype=np.int64)
+    if cols.ndim != 2:
+        raise ValueError("index_columns must be 2-D (fibers x modes)")
+    m, k = cols.shape
+    if k == 0:
+        raise ValueError("cannot group fibers over an empty mode subset")
+    if m == 0:
+        return FiberGrouping(
+            indices=np.empty((0, k), dtype=np.int64),
+            perm=np.empty(0, dtype=np.int64),
+            segptr=np.zeros(1, dtype=np.int64),
+            contiguous=True,
+        )
+    boundary = np.empty(m, dtype=bool)
+    boundary[0] = True
+    np.any(cols[1:] != cols[:-1], axis=1, out=boundary[1:])
+    starts = np.flatnonzero(boundary).astype(np.int64)
+    segptr = np.concatenate([starts, [m]]).astype(np.int64)
+    return FiberGrouping(
+        indices=cols[boundary],
+        perm=np.arange(m, dtype=np.int64),
+        segptr=segptr,
+        contiguous=True,
+    )
 
 
 def subset_widths(
@@ -205,31 +257,46 @@ def edge_update_groups(
     child_width = out.shape[1]
     p0 = int(grouping.segptr[group_start])
     p1 = int(grouping.segptr[group_stop])
-    positions = grouping.perm[p0:p1]
-    if positions.shape[0] == 0:
+    total = p1 - p0
+    if total == 0:
         return out
+    # A contiguous grouping's perm is the identity: parent fibers for the
+    # requested range are literally rows p0:p1, so each block below reads the
+    # payload and index columns through slice views instead of fancy gathers.
+    # The block order, segment boundaries and accumulation order are the same
+    # either way, so both paths produce bit-identical payloads.
+    positions = None if grouping.contiguous else grouping.perm[p0:p1]
     counts = np.diff(grouping.segptr[group_start : group_stop + 1])
     local_rows = np.repeat(np.arange(count, dtype=np.int64), counts)
     if block_nnz is None:
         block_nnz = default_block_size(child_width, itemsize=dtype.itemsize)
 
-    for start in range(0, positions.shape[0], block_nnz):
-        chunk = positions[start : start + block_nnz]
-        chunk_rows = local_rows[start : start + chunk.shape[0]]
-        pay = parent_payload[chunk]
-        blocks = [
-            factor[parent_index_cols[chunk, col]]
-            for col, factor in zip(sibling_cols, sibling_factors)
-        ]
+    for start in range(0, total, block_nnz):
+        stop = min(start + block_nnz, total)
+        chunk_rows = local_rows[start:stop]
+        if positions is None:
+            pay = parent_payload[p0 + start : p0 + stop]
+            idx_rows = parent_index_cols[p0 + start : p0 + stop]
+            blocks = [
+                factor[idx_rows[:, col]]
+                for col, factor in zip(sibling_cols, sibling_factors)
+            ]
+        else:
+            chunk = positions[start:stop]
+            pay = parent_payload[chunk]
+            blocks = [
+                factor[parent_index_cols[chunk, col]]
+                for col, factor in zip(sibling_cols, sibling_factors)
+            ]
         kron_scratch = (
-            workspace.take((chunk.shape[0], sib_width), dtype, tag="dimtree-kron")
+            workspace.take((stop - start, sib_width), dtype, tag="dimtree-kron")
             if workspace is not None and len(blocks) > 1
             else None
         )
         kron = batch_kron_rows(blocks, out=kron_scratch)
         insert_scratch = (
             workspace.take(
-                (chunk.shape[0], child_width), dtype, tag="dimtree-insert"
+                (stop - start, child_width), dtype, tag="dimtree-insert"
             )
             if workspace is not None
             else None

@@ -54,6 +54,7 @@ __all__ = [
     "ProcessBackend",
     "CSFBackend",
     "ThreadedCSFBackend",
+    "ProcessCSFBackend",
     "engine_kernel",
     "trsvd_kwargs",
     "parallel_symbolic",
@@ -465,6 +466,72 @@ class ThreadedCSFBackend(CSFBackend):
 
     def _ttmc_config(self):
         return self.config
+
+
+class ProcessCSFBackend(CSFBackend):
+    """True-multicore execution over Compressed Sparse Fiber storage.
+
+    The driver builds the per-mode rooted trees once (thread-overlapped,
+    like the per-mode symbolic step), serializes their level arrays into a
+    shared arena (:meth:`~repro.parallel.process_pool.HOOIProcessPool.for_csf`),
+    and dispatches every TTMc as contiguous root-fiber slabs to the worker
+    pool — a slab's output rows are exactly its unique, sorted root fibers,
+    so workers write lock-free just as in the COO row decomposition.
+    Refreshed factors are broadcast by writing their shared segment,
+    mirroring :class:`ProcessBackend`.
+
+    ``num_workers <= 1`` degenerates to the sequential CSF backend: no
+    worker processes are spawned and no shared memory is allocated.
+    """
+
+    name = "process-csf"
+
+    def __init__(self, config=None) -> None:
+        from repro.parallel.process_pool import ProcessConfig
+
+        # Root-fiber slabs partition the output rows only when every tree
+        # is rooted at its target mode, so the policy is fixed (the same
+        # constraint as the threaded CSF backend).
+        super().__init__(trees="per-mode")
+        self.config = config or ProcessConfig()
+        self.pool = None
+
+    def prepare(self, eng) -> None:
+        from repro.sparse import CSFTensorSet
+
+        self.tensors = CSFTensorSet.per_mode(
+            eng.tensor, num_threads=self.config.num_workers
+        )
+        if self.config.num_workers <= 1:
+            return
+        from repro.parallel.process_pool import HOOIProcessPool
+
+        self.pool = HOOIProcessPool.for_csf(
+            self.tensors,
+            eng.tensor,
+            eng.factors,
+            eng.ranks,
+            eng.dtype,
+            config=self.config,
+            block_nnz=eng.options.block_nnz,
+            kernel=engine_kernel(eng),
+        )
+
+    def compute_ttmc(self, eng, mode: int) -> np.ndarray:
+        if self.pool is None:
+            return super().compute_ttmc(eng, mode)
+        return self.pool.ttmc(mode)
+
+    def update_factor(self, eng, mode: int, y_mat: np.ndarray):
+        new_factor, stats = super().update_factor(eng, mode, y_mat)
+        if self.pool is not None:
+            self.pool.write_factor(mode, new_factor)
+        return new_factor, stats
+
+    def finalize(self, eng) -> None:
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
 
 
 class ProcessBackend(SequentialBackend):

@@ -28,6 +28,17 @@ versions of the factors it multiplied by.  Refreshing ``U_n`` bumps version
 Nodes revalidate top-down on demand, so one HOOI sweep recomputes each
 non-root node exactly once regardless of mode order.
 
+Symbolic sources
+----------------
+The tree's groupings come either from per-edge lexsorts over the COO index
+matrix (``source="coo"``) or from a CSF fiber hierarchy with the identity
+mode order (``source="csf"``): the CSF levels then coincide with the tree's
+contiguous mode ranges, every left-child edge inherits contiguous,
+already-sorted segments from its parent's sort order, and the numeric edge
+updates run gather-free over payload slices.  The served ``Y_(n)`` is
+identical either way, which is what lets ``tensor_format="csf"`` compose
+with ``ttmc_strategy="dimtree"`` across all execution models.
+
 Memory
 ------
 Node payloads live in the engine's :class:`~repro.engine.workspace.WorkspacePool`
@@ -51,11 +62,13 @@ from repro.core.subset_ttmc import (
     FiberGrouping,
     edge_update_groups,
     group_fibers,
+    group_fibers_presorted,
     subset_widths,
 )
 from repro.engine.backend import (
     CSFBackend,
     ProcessBackend,
+    ProcessCSFBackend,
     SequentialBackend,
     ThreadedBackend,
     ThreadedCSFBackend,
@@ -139,20 +152,77 @@ class DimensionTree:
     :meth:`invalidate_factor` must be called whenever a factor matrix is
     replaced.  ``edge_updates`` counts numeric node recomputations — a steady
     HOOI sweep performs exactly ``len(nodes) - 1`` of them.
+
+    ``source`` selects where the symbolic structure comes from:
+
+    * ``"coo"`` (default) — the tree's root is the tensor's raw index matrix
+      and every edge grouping is a :func:`group_fibers` lexsort.
+    * ``"csf"`` — the tree is built over a CSF fiber hierarchy
+      (:class:`~repro.sparse.csf.CSFTensor` with the *identity* mode order,
+      so the CSF levels coincide with the tree's contiguous mode ranges).
+      The root holds the lexicographically sorted nonzeros, which makes
+      every left-child grouping a prefix of a sorted parent: its segments
+      are derived by the CSF change-flag walk
+      (:func:`group_fibers_presorted`) with an identity permutation, and the
+      numeric edge updates read the parent payload through contiguous slices
+      instead of gathers.  Caching, invalidation and the served ``Y_(n)``
+      are identical to the COO-sourced tree (fibers sort the same way —
+      only the root row order and the grouping mechanics differ).
+
+    Either way the sortedness of every non-root node's tuples (a
+    :func:`group_fibers` postcondition) lets deeper left edges reuse the
+    presorted walk too.
     """
 
-    def __init__(self, tensor: SparseTensor) -> None:
+    #: Legal values of the ``source`` constructor argument.
+    SOURCES = ("coo", "csf")
+
+    def __init__(self, tensor: SparseTensor, *, source: str = "coo") -> None:
         if tensor.order < 2:
             raise ValueError("a dimension tree requires a tensor of order >= 2")
+        if source not in self.SOURCES:
+            raise ValueError(
+                f"unknown dimension-tree source {source!r}; expected one of "
+                f"{self.SOURCES}"
+            )
         self.shape = tensor.shape
         self.order = tensor.order
-        self._values = tensor.values
+        self.source = source
         self._token = f"dimtree{next(_TREE_IDS)}"
+        if source == "csf":
+            from repro.sparse.csf import CSFTensor
+
+            # Identity mode order: level ℓ of the fiber tree is mode ℓ, so
+            # the CSF hierarchy *is* the left spine of the dimension tree and
+            # the sorted expansion below is the root's index matrix.
+            self.csf: Optional[CSFTensor] = CSFTensor(
+                tensor, mode_order=tuple(range(tensor.order))
+            )
+            root_cols = self.csf.to_coo().indices
+            self._values = self.csf.values
+            root_sorted = True
+        else:
+            self.csf = None
+            root_cols = tensor.indices
+            self._values = tensor.values
+            root_sorted = False
         self.nodes: List[DimTreeNode] = []
         self.leaves: List[Optional[DimTreeNode]] = [None] * self.order
-        self.root = self._build(0, self.order - 1, None, tensor.indices)
+        self.root = self._build(0, self.order - 1, None, root_cols, root_sorted)
         self._versions = [0] * self.order
         self.edge_updates = 0
+
+    @property
+    def root_values(self) -> np.ndarray:
+        """Nonzero values aligned with the root's ``index_cols`` rows.
+
+        For a COO-sourced tree these are the tensor's values verbatim; for a
+        CSF-sourced tree they are the lexicographically sorted copy matching
+        the sorted root index matrix.  The process pool serializes *these*
+        (not the raw tensor's) so worker-side groupings see the same row
+        order the driver's tree was built over.
+        """
+        return self._values
 
     # ------------------------------------------------------------------ #
     # Construction (symbolic)
@@ -163,6 +233,7 @@ class DimensionTree:
         hi: int,
         parent: Optional[DimTreeNode],
         parent_index_cols: np.ndarray,
+        parent_sorted: bool,
     ) -> DimTreeNode:
         node = DimTreeNode(len(self.nodes), lo, hi, parent)
         self.nodes.append(node)
@@ -170,7 +241,15 @@ class DimensionTree:
             node.index_cols = np.asarray(parent_index_cols, dtype=np.int64)
         else:
             rel = [m - parent.lo for m in range(lo, hi + 1)]
-            node.grouping = group_fibers(parent_index_cols[:, rel])
+            if parent_sorted and lo == parent.lo:
+                # Left child of a lex-sorted parent: its grouping columns are
+                # a prefix of the sort key, so the groups are already
+                # contiguous and ordered — the CSF change-flag walk replaces
+                # the lexsort (and marks the grouping contiguous, unlocking
+                # the sliced edge-update fast path).
+                node.grouping = group_fibers_presorted(parent_index_cols[:, rel])
+            else:
+                node.grouping = group_fibers(parent_index_cols[:, rel])
             node.index_cols = node.grouping.indices
             node.sibling_modes = tuple(
                 m for m in parent.modes if not lo <= m <= hi
@@ -183,8 +262,14 @@ class DimensionTree:
             self.leaves[lo] = node
         else:
             mid = (lo + hi) // 2
-            node.left = self._build(lo, mid, node, node.index_cols)
-            node.right = self._build(mid + 1, hi, node, node.index_cols)
+            # Children of any non-root node see sorted tuples (group_fibers
+            # and the presorted walk both emit ascending order); only a COO
+            # root's raw index matrix is unsorted.
+            child_sorted = parent is not None or parent_sorted
+            node.left = self._build(lo, mid, node, node.index_cols, child_sorted)
+            node.right = self._build(
+                mid + 1, hi, node, node.index_cols, child_sorted
+            )
         return node
 
     def path(self, mode: int) -> List[DimTreeNode]:
@@ -448,6 +533,12 @@ class DimTreeBackend(SequentialBackend):
     ``prepare``, replacing the per-mode symbolic step) and ``update_factor``
     additionally bumps the refreshed factor's version so stale partial chains
     are recomputed on their next use.
+
+    ``tensor_format`` decides the tree's symbolic source: ``"csf"`` builds
+    the groupings over the CSF fiber hierarchy (contiguous, gather-free edge
+    updates), ``"coo"`` keeps the per-edge lexsorts.  Both serve identical
+    ``Y_(n)``, so the format axis composes with this strategy — and with its
+    threaded and process subclasses — without any further routing.
     """
 
     name = "dimtree"
@@ -455,8 +546,12 @@ class DimTreeBackend(SequentialBackend):
     def __init__(self) -> None:
         self.tree: Optional[DimensionTree] = None
 
+    def _tree_source(self, eng) -> str:
+        fmt = getattr(eng.options, "tensor_format", "coo") or "coo"
+        return "csf" if fmt == "csf" else "coo"
+
     def prepare(self, eng) -> None:
-        self.tree = DimensionTree(eng.tensor)
+        self.tree = DimensionTree(eng.tensor, source=self._tree_source(eng))
 
     def _edge_parallel_config(self):
         """Thread configuration for stale-edge refinements (None = inline)."""
@@ -608,13 +703,16 @@ def resolve_ttmc_backend(options, config=None):
     without it, ``options.execution`` decides: ``"sequential"`` (default),
     ``"thread"`` (``options.num_workers`` threads) or ``"process"``
     (``options.num_workers`` worker processes with zero-copy shared memory).
-    ``tensor_format="csf"`` swaps the COO kernels for the fiber-tree
-    backends (:class:`~repro.engine.backend.CSFBackend` /
-    :class:`~repro.engine.backend.ThreadedCSFBackend`); it composes with
-    sequential and threaded execution but replaces the TTMc strategy, so
-    ``validate`` rejects it with ``dimtree`` or ``process``.  The ``kernel``
-    axis needs no routing of its own: every resolved backend reads
-    ``options.kernel`` per TTMc call
+    The two remaining axes compose orthogonally: ``ttmc_strategy="dimtree"``
+    always routes to a dimension-tree backend (whose tree reads
+    ``tensor_format`` to pick its symbolic source — CSF fiber hierarchy or
+    per-edge lexsorts), while ``tensor_format="csf"`` with the per-mode
+    strategy routes to the fiber-tree backends
+    (:class:`~repro.engine.backend.CSFBackend` /
+    :class:`~repro.engine.backend.ThreadedCSFBackend` /
+    :class:`~repro.engine.backend.ProcessCSFBackend` by execution model).
+    The ``kernel`` axis needs no routing of its own: every resolved backend
+    reads ``options.kernel`` per TTMc call
     (:func:`~repro.engine.backend.engine_kernel`), and the ``validate`` call
     here rejects unavailable or non-composing tiers *before* any backend is
     built — a ``kernel="numba"`` request without numba fails at resolution,
@@ -640,13 +738,15 @@ def resolve_ttmc_backend(options, config=None):
         )
         if strategy == "dimtree":
             return ProcessDimTreeBackend(pconfig)
+        if tensor_format == "csf":
+            return ProcessCSFBackend(pconfig)
         return ProcessBackend(pconfig)
     if execution == "thread" and config is None:
         from repro.parallel.parallel_for import ParallelConfig
 
         config = ParallelConfig(num_threads=num_workers)
+    if strategy == "dimtree":
+        return DimTreeBackend() if config is None else ThreadedDimTreeBackend(config)
     if tensor_format == "csf":
         return CSFBackend() if config is None else ThreadedCSFBackend(config)
-    if strategy == "per-mode":
-        return SequentialBackend() if config is None else ThreadedBackend(config)
-    return DimTreeBackend() if config is None else ThreadedDimTreeBackend(config)
+    return SequentialBackend() if config is None else ThreadedBackend(config)

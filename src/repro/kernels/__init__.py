@@ -12,9 +12,11 @@ and are plain Python, so the numerics are testable without numba installed.
 
 from repro.kernels.registry import (
     KERNEL_TIERS,
+    MISSING_DIMTREE_KERNELS,
     KernelTable,
     kernel_available,
     kernel_table,
+    missing_dimtree_kernel_message,
     numba_available,
     require_kernel,
     warmup_kernels,
@@ -22,9 +24,11 @@ from repro.kernels.registry import (
 
 __all__ = [
     "KERNEL_TIERS",
+    "MISSING_DIMTREE_KERNELS",
     "KernelTable",
     "kernel_available",
     "kernel_table",
+    "missing_dimtree_kernel_message",
     "numba_available",
     "require_kernel",
     "warmup_kernels",

@@ -48,16 +48,27 @@ import numpy as np
 
 __all__ = [
     "KERNEL_TIERS",
+    "MISSING_DIMTREE_KERNELS",
     "KernelTable",
     "numba_available",
     "kernel_available",
     "require_kernel",
     "kernel_table",
+    "missing_dimtree_kernel_message",
     "warmup_kernels",
 ]
 
 #: The implementation tiers ``HOOIOptions.kernel`` accepts.
 KERNEL_TIERS = ("numpy", "numba")
+
+#: The fused entry points the dimension-tree strategy would need from the
+#: compiled tier but which no :class:`KernelTable` provides yet.  Naming them
+#: here keeps the ``kernel='numba' × ttmc_strategy='dimtree'`` fail-fast in
+#: :meth:`repro.core.hooi.HOOIOptions.validate` honest: the error message
+#: (:func:`missing_dimtree_kernel_message`) lists exactly these, so closing
+#: the hole means implementing them, adding KernelTable fields, and deleting
+#: this constant — not hunting for scattered guard strings.
+MISSING_DIMTREE_KERNELS = ("dimtree_edge_update", "dimtree_leaf_gather")
 
 _FORCE_PYTHON_ENV = "REPRO_KERNEL_FORCE_PYTHON"
 _PARALLEL_ENV = "REPRO_KERNEL_PARALLEL"
@@ -136,6 +147,25 @@ def require_kernel(kernel: str) -> str:
             "'Choosing a kernel tier')"
         )
     return kernel
+
+
+def missing_dimtree_kernel_message() -> str:
+    """The actionable error for ``kernel='numba' × ttmc_strategy='dimtree'``.
+
+    Kept next to :data:`MISSING_DIMTREE_KERNELS` so the message and the
+    list of unimplemented entry points cannot drift apart.
+    """
+    missing = ", ".join(f"'{name}'" for name in MISSING_DIMTREE_KERNELS)
+    return (
+        "kernel='numba' does not compose with ttmc_strategy='dimtree': the "
+        f"compiled tier is missing the fused dimension-tree kernels {missing} "
+        "(repro/kernels/registry.py, MISSING_DIMTREE_KERNELS) — use "
+        "kernel='numpy' with the dimtree strategy, or keep the numba tier "
+        "with ttmc_strategy='per-mode' (either tensor format).  Note the "
+        "REPRO_KERNEL_FORCE_PYTHON=1 hook cannot bridge this hole: it serves "
+        "the numba tier's existing loop bodies interpreted, but these "
+        "dimension-tree entry points do not exist in any form yet."
+    )
 
 
 def _build_table() -> KernelTable:

@@ -8,8 +8,9 @@ This module provides the same row-parallel, lock-free execution on worker
 
 * All big operands live in a :class:`~repro.parallel.shm.ShmArena` — the
   tensor's ``indices``/``values``, every mode's symbolic update lists (or the
-  dimension tree's fiber groupings), the factor matrices, and the ``Y_(n)``
-  output buffers (or tree-node payloads).  Workers attach views once at pool
+  dimension tree's fiber groupings, or the CSF trees' per-level
+  ``fids``/``fptr`` arrays), the factor matrices, and the ``Y_(n)`` output
+  buffers (or tree-node payloads).  Workers attach views once at pool
   startup and reuse them across every mode and iteration.
 * Numeric work is dispatched as tiny ``(mode, row_chunk)`` /
   ``(node, fiber_chunk)`` descriptors over the same static/dynamic/guided
@@ -141,7 +142,26 @@ class _JobProgram:
             self.outs: Dict[int, np.ndarray] = {
                 n: view[f"{prefix}out{n}"] for n in range(order)
             }
-        else:
+        elif self.strategy == "csf":
+            from repro.sparse.csf import CSFTensor
+
+            # One rooted tree per mode, rebuilt over zero-copy views of the
+            # driver's serialized level arrays — no re-sort on attach.
+            self.csf_trees: Dict[int, CSFTensor] = {}
+            for entry in meta["csf"]:
+                n = int(entry["mode"])
+                self.csf_trees[n] = CSFTensor.from_arrays(
+                    self.shape,
+                    entry["mode_order"],
+                    [view[f"{prefix}csf{n}-fids{lvl}"] for lvl in range(order)],
+                    [
+                        view[f"{prefix}csf{n}-fptr{lvl}"]
+                        for lvl in range(order - 1)
+                    ],
+                    view[f"{prefix}csf{n}-values"],
+                )
+            self.outs = {n: view[f"{prefix}out{n}"] for n in range(order)}
+        elif self.strategy == "dimtree":
             root_id = meta["root_id"]
             self.edges: Dict[int, dict] = {e["node"]: e for e in meta["edges"]}
             self.groupings: Dict[int, FiberGrouping] = {
@@ -149,14 +169,17 @@ class _JobProgram:
                     indices=view[f"grp-idx{nid}"],
                     perm=view[f"grp-perm{nid}"],
                     segptr=view[f"grp-segptr{nid}"],
+                    contiguous=bool(edge.get("contiguous", False)),
                 )
-                for nid in self.edges
+                for nid, edge in self.edges.items()
             }
             self.payloads: Dict[int, np.ndarray] = {root_id: view[f"payload{root_id}"]}
             self.index_cols: Dict[int, np.ndarray] = {root_id: view["indices"]}
             for nid, grouping in self.groupings.items():
                 self.payloads[nid] = view[f"payload{nid}"]
                 self.index_cols[nid] = grouping.indices
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown job strategy {self.strategy!r}")
 
     def ttmc_rows(self, mode: int, start: int, stop: int) -> None:
         """Compute rows ``start:stop`` of ``J_mode`` into the shared output."""
@@ -173,6 +196,35 @@ class _JobProgram:
             kernel=self.kernel,
         )
         self.outs[mode][symbolic.rows[start:stop]] = block
+
+    def csf_slab(self, mode: int, start: int, stop: int) -> None:
+        """Pull up root-fiber slab ``[start, stop)`` of one rooted tree.
+
+        The same body the threaded CSF backend runs per slab
+        (:func:`repro.sparse.csf_ttmc.csf_ttmc_compact`): a pure pullup over
+        the slab's contiguous node ranges, column-permuted into engine
+        layout, assigned to the slab's (unique, sorted) root-fiber rows of
+        the shared output — row-disjoint across slabs, so no locks.
+        """
+        from repro.kernels import kernel_table
+        from repro.sparse.csf_ttmc import (
+            _level_ranges,
+            _pullup,
+            _to_engine_columns,
+        )
+
+        csf = self.csf_trees[mode]
+        factor_arrays = [
+            None if t == mode else self.factors[t]
+            for t in range(len(self.shape))
+        ]
+        table = kernel_table(self.kernel)
+        slab = _pullup(
+            csf, factor_arrays, self.dtype, 0,
+            _level_ranges(csf, start, stop), None, table,
+        )
+        block = _to_engine_columns(slab, csf, factor_arrays, 0)
+        self.outs[mode][csf.fids[0][start:stop]] = block
 
     def edge_groups(self, node_id: int, start: int, stop: int) -> None:
         """Refine fiber groups ``start:stop`` of one dimension-tree edge."""
@@ -232,6 +284,8 @@ def _generation_loop(worker_id: int, state: _WorkerState, task_q, done_q) -> Non
                 program = state.programs[job]
                 if kind == "ttmc":
                     program.ttmc_rows(task[3], task[4], task[5])
+                elif kind == "csf":
+                    program.csf_slab(task[3], task[4], task[5])
                 elif kind == "edge":
                     program.edge_groups(task[3], task[4], task[5])
                 else:
@@ -355,6 +409,66 @@ def _put_per_mode_job(
         "block_nnz": block_nnz,
         "kernel": kernel,
     }
+
+
+def _put_csf_job(
+    arena: ShmArena,
+    trees,
+    tensor,
+    factors: Sequence[np.ndarray],
+    ranks: Sequence[int],
+    dtype,
+    *,
+    block_nnz: Optional[int],
+    kernel: str,
+    prefix: str,
+) -> Tuple[dict, Dict[int, int]]:
+    """Place one CSF job's rooted trees into the arena; return (meta, roots).
+
+    ``trees`` is a :class:`~repro.sparse.csf.CSFTensorSet` with one tree
+    rooted at every mode (the lock-free layout: a root-fiber slab's output
+    rows are exactly its unique, sorted root fibers).  Each tree's per-level
+    ``fids``/``fptr`` arrays and its lexicographically sorted values are
+    serialized once; workers rebuild zero-copy trees from the views.
+    ``roots`` maps each mode to its root-fiber count — the quantity slab
+    chunks are scheduled over.
+    """
+    dtype = np.dtype(dtype)
+    ranks = [int(r) for r in ranks]
+    widths = _validate_per_mode_ranks(tensor, ranks)
+    order = tensor.order
+    entries: List[dict] = []
+    roots: Dict[int, int] = {}
+    for n in range(order):
+        csf = trees.tree_for(n)
+        if csf.level_of(n) != 0:
+            raise ValueError(
+                f"the process pool needs a tree rooted at its target mode, "
+                f"but mode {n}'s tree is rooted at mode {csf.mode_order[0]}; "
+                "build the set with CSFTensorSet.per_mode"
+            )
+        for lvl in range(order):
+            arena.put(f"{prefix}csf{n}-fids{lvl}", csf.fids[lvl])
+        for lvl in range(order - 1):
+            arena.put(f"{prefix}csf{n}-fptr{lvl}", csf.fptr[lvl])
+        arena.put(f"{prefix}csf{n}-values", np.asarray(csf.values, dtype=dtype))
+        arena.zeros(f"{prefix}out{n}", (tensor.shape[n], widths[n]), dtype)
+        entries.append(
+            {"mode": n, "mode_order": tuple(int(m) for m in csf.mode_order)}
+        )
+        roots[n] = csf.num_fibers(0)
+    for n in range(order):
+        arena.put(f"{prefix}factor{n}", np.asarray(factors[n], dtype=dtype))
+    meta = {
+        "strategy": "csf",
+        "shape": tuple(int(s) for s in tensor.shape),
+        "ranks": tuple(ranks),
+        "dtype": dtype.str,
+        "block_nnz": block_nnz,
+        "kernel": kernel,
+        "csf": entries,
+    }
+    return meta, roots
 
 
 class PersistentWorkerCrew:
@@ -503,6 +617,12 @@ class BatchJobSpec:
     must already carry the job's value dtype (the engine's dtype policy is
     applied before the arena is built) and ``factors`` are the job's
     initial factor matrices.
+
+    ``tensor_format`` picks the member's arena layout: ``"coo"`` (default)
+    packs the COO indices plus ``symbolic`` per-mode update lists,
+    ``"csf"`` packs the level arrays of ``trees`` (a
+    :class:`~repro.sparse.csf.CSFTensorSet` built per-mode) instead —
+    ``symbolic`` may then be empty.  Members of one batch can mix formats.
     """
 
     job: str
@@ -512,16 +632,20 @@ class BatchJobSpec:
     ranks: Sequence[int]
     block_nnz: Optional[int] = None
     kernel: str = "numpy"
+    tensor_format: str = "coo"
+    trees: object = None
 
 
 class HOOIProcessPool:
     """A pool of worker processes attached to one shared arena.
 
-    Build one with :meth:`for_per_mode` (row-parallel ``Y_(n)`` TTMc),
+    Build one with :meth:`for_per_mode` (row-parallel COO ``Y_(n)`` TTMc),
+    :meth:`for_csf` (root-fiber-slab pullups over shared CSF level arrays),
     :meth:`for_dimtree` (fiber-parallel dimension-tree edge updates) or
-    :meth:`for_per_mode_batch` (several jobs sharing one generation), drive
-    it with :meth:`ttmc` / :meth:`dimtree_edge` / :meth:`write_factor`, and
-    release it with :meth:`close` (or use it as a context manager).
+    :meth:`for_per_mode_batch` (several jobs — COO and CSF members alike —
+    sharing one generation), drive it with :meth:`ttmc` /
+    :meth:`dimtree_edge` / :meth:`write_factor`, and release it with
+    :meth:`close` (or use it as a context manager).
 
     Workers either belong to the pool (spawned here, killed on close — the
     one-shot ``hooi(...)`` lifecycle) or to a caller-owned
@@ -544,6 +668,17 @@ class HOOIProcessPool:
         self._broken = False
         self._detach_needed = False
         self._task_counter = 0
+        # TTMc task kind per job key: CSF members dispatch root-fiber slabs
+        # ("csf"), COO members dispatch symbolic row chunks ("ttmc").
+        if meta["strategy"] == "batch":
+            self._ttmc_kinds = {
+                j["job"]: ("csf" if j["strategy"] == "csf" else "ttmc")
+                for j in meta["jobs"]
+            }
+        else:
+            self._ttmc_kinds = {
+                None: "csf" if meta["strategy"] == "csf" else "ttmc"
+            }
         self.workers: List[mp.process.BaseProcess] = []
         try:
             if crew is not None:
@@ -668,17 +803,78 @@ class HOOIProcessPool:
             mode_rows: Dict = {}
             for spec in specs:
                 job_dtype = np.dtype(getattr(spec.tensor, "dtype", dtype))
-                job_meta = _put_per_mode_job(
-                    arena, spec.tensor, spec.symbolic, spec.factors,
-                    [int(r) for r in spec.ranks], job_dtype,
-                    block_nnz=spec.block_nnz, kernel=spec.kernel,
-                    prefix=f"{spec.job}:",
-                )
+                fmt = getattr(spec, "tensor_format", "coo") or "coo"
+                if fmt == "csf":
+                    if spec.trees is None:
+                        raise ValueError(
+                            f"batch member {spec.job!r} asks for "
+                            "tensor_format='csf' but carries no CSFTensorSet "
+                            "in spec.trees"
+                        )
+                    job_meta, roots = _put_csf_job(
+                        arena, spec.trees, spec.tensor, spec.factors,
+                        [int(r) for r in spec.ranks], job_dtype,
+                        block_nnz=spec.block_nnz, kernel=spec.kernel,
+                        prefix=f"{spec.job}:",
+                    )
+                    for n, num_roots in roots.items():
+                        mode_rows[(spec.job, n)] = num_roots
+                else:
+                    job_meta = _put_per_mode_job(
+                        arena, spec.tensor, spec.symbolic, spec.factors,
+                        [int(r) for r in spec.ranks], job_dtype,
+                        block_nnz=spec.block_nnz, kernel=spec.kernel,
+                        prefix=f"{spec.job}:",
+                    )
+                    for n in range(spec.tensor.order):
+                        mode_rows[(spec.job, n)] = spec.symbolic[n].num_rows
                 job_meta["job"] = spec.job
                 jobs_meta.append(job_meta)
-                for n in range(spec.tensor.order):
-                    mode_rows[(spec.job, n)] = spec.symbolic[n].num_rows
             meta = {"strategy": "batch", "jobs": jobs_meta}
+            return cls(
+                arena=arena, meta=meta, mode_rows=mode_rows,
+                node_groups={}, config=config, crew=crew,
+            )
+        except BaseException:
+            arena.unlink()
+            raise
+
+    @classmethod
+    def for_csf(
+        cls,
+        trees,
+        tensor,
+        factors: Sequence[np.ndarray],
+        ranks: Sequence[int],
+        dtype,
+        *,
+        config: Optional[ProcessConfig] = None,
+        block_nnz: Optional[int] = None,
+        kernel: str = "numpy",
+        crew: Optional[PersistentWorkerCrew] = None,
+    ) -> "HOOIProcessPool":
+        """Pool executing root-fiber-slab CSF pullups (per-mode rooted trees).
+
+        ``trees`` is a :class:`~repro.sparse.csf.CSFTensorSet` built with
+        ``per_mode`` — one tree rooted at every mode, the layout whose TTMc
+        is a pure pullup with its output rows the unique, sorted root
+        fibers.  The per-level ``fids``/``fptr`` arrays and the sorted
+        values of every tree go into the arena once; workers rebuild
+        zero-copy :class:`~repro.sparse.csf.CSFTensor` views on attach, and
+        each TTMc dispatches contiguous root-fiber slabs whose subtree is a
+        contiguous node range at every level and whose output rows are
+        disjoint from every other slab's — the same lock-free write
+        discipline as the COO row chunks, over 0.7× the index bytes.
+        """
+        config = _resolve_config(config, crew)
+        arena = ShmArena()
+        try:
+            meta, roots = _put_csf_job(
+                arena, trees, tensor, factors, [int(r) for r in ranks],
+                np.dtype(dtype), block_nnz=block_nnz, kernel=kernel,
+                prefix="",
+            )
+            mode_rows = {(None, n): roots[n] for n in range(tensor.order)}
             return cls(
                 arena=arena, meta=meta, mode_rows=mode_rows,
                 node_groups={}, config=config, crew=crew,
@@ -706,7 +902,13 @@ class HOOIProcessPool:
         its symbolic fiber groupings and every node payload are placed in
         shared memory, so the driver's tree and the workers operate on the
         same buffers (the driver keeps the version counters and decides
-        *which* edges are stale; workers execute the chunks).
+        *which* edges are stale; workers execute the chunks).  The root's
+        index matrix and values are taken from the *tree* (not the raw
+        tensor): a CSF-sourced tree's groupings reference the
+        lexicographically sorted row order, and its contiguous groupings
+        carry their flag into the workers so the sliced edge-update fast
+        path applies there too.  For a COO-sourced tree those arrays are the
+        tensor's own, so nothing changes.
         """
         config = _resolve_config(config, crew)
         dtype = np.dtype(dtype)
@@ -714,11 +916,11 @@ class HOOIProcessPool:
         _validate_per_mode_ranks(tensor, ranks)
         arena = ShmArena()
         try:
-            arena.put("indices", tensor.indices)
+            arena.put("indices", np.ascontiguousarray(tree.root.index_cols))
             root_id = int(tree.root.node_id)
             arena.put(
                 f"payload{root_id}",
-                np.asarray(tensor.values, dtype=dtype).reshape(-1, 1),
+                np.asarray(tree.root_values, dtype=dtype).reshape(-1, 1),
             )
             edges: List[dict] = []
             node_groups: Dict[int, int] = {}
@@ -743,6 +945,7 @@ class HOOIProcessPool:
                     "sibling_cols": tuple(int(c) for c in node.sibling_cols),
                     "lo_width": int(lo_width),
                     "hi_width": int(hi_width),
+                    "contiguous": bool(node.grouping.contiguous),
                 })
                 node_groups[nid] = node.num_fibers
             for n in range(tensor.order):
@@ -853,15 +1056,18 @@ class HOOIProcessPool:
         """Row-parallel ``Y_(mode)`` into (and returning) the shared buffer.
 
         ``job`` addresses one member of a batched generation
-        (:meth:`for_per_mode_batch`); single-job pools omit it.
+        (:meth:`for_per_mode_batch`); single-job pools omit it.  The chunks
+        cover symbolic output rows for COO members and root-fiber slabs for
+        CSF members — either way each chunk writes a disjoint row set.
         """
         self._check_usable()
         out = self._arena[f"{self._prefix(job)}out{mode}"]
         num_rows = self._mode_rows[(job, mode)]
+        kind = self._ttmc_kinds[job]
         if num_rows:
             self._dispatch(
                 [
-                    ("ttmc", job, mode, start, stop)
+                    (kind, job, mode, start, stop)
                     for start, stop in self._chunks(num_rows)
                 ]
             )

@@ -298,18 +298,27 @@ def check_resume_compatible(state: CheckpointState, eng) -> None:
         # Array-init options have no serializable form; structural checks
         # above are all a checkpoint can verify against them.
         return
+    # Checkpoints written by older builds may record None spellings for the
+    # optional axis fields; the running engine's options are validated (so
+    # always concrete).  Normalize both sides to the same spelling before
+    # comparing — None-vs-concrete for the same configuration is not a real
+    # mismatch.
+    from repro.core.hooi import normalize_axis_fields
+
+    recorded = normalize_axis_fields(state.options)
+    current = normalize_axis_fields(current)
     mismatched = sorted(
         key
         for key in current
         if key not in RESUME_COMPAT_EXCLUDE
-        and key in state.options
-        and state.options[key] != current[key]
+        and key in recorded
+        and recorded[key] != current[key]
     )
     if mismatched:
         raise ValueError(
             "cannot resume: option(s) "
             + ", ".join(
-                f"{key}={current[key]!r} (checkpoint: {state.options[key]!r})"
+                f"{key}={current[key]!r} (checkpoint: {recorded[key]!r})"
                 for key in mismatched
             )
             + " differ from the checkpointed run, so the resumed sweeps "

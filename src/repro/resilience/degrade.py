@@ -8,7 +8,12 @@ not *success*.  This module defines the policy half of that story:
   configuration rungs a job steps down when its current tier keeps
   failing: ``process → thread → sequential`` execution first (the crash
   domain), then ``numba → numpy`` kernel, then ``csf → coo`` format.
-  Every rung is a tier the conformance matrix already proves numerically
+  Since csf composes with process execution, the execution axis descends
+  fully before the format axis is touched — a CSF job no longer has to
+  give up its compressed layout just to leave a broken process pool, and
+  every intermediate rung of the descent (e.g. ``thread × numba × csf``,
+  ``sequential × numpy × csf``) is itself a valid configuration.  Every
+  rung is a tier the conformance matrix proves numerically
   interchangeable (1e-10 parity), which is what makes silent substitution
   *sound* — only wall-clock changes.
 * :class:`CircuitBreaker` — the classic closed / open / half-open state
@@ -81,7 +86,12 @@ class DegradationLadder:
     install; the format rung handles CSF build failures.  Axes degrade
     independently and one rung at a time: each call to :meth:`next_step`
     proposes exactly one change, so the caller can attribute every
-    fallback to the failure that caused it.
+    fallback to the failure that caused it.  Single-axis steps require
+    every intermediate configuration to be valid — which holds because the
+    option matrix has no composition holes along these axes (csf composes
+    with every execution value; ``tests/test_conformance_matrix.py``
+    walks the full descent and asserts both validity and 1e-10 parity per
+    rung).
     """
 
     def __init__(

@@ -4,14 +4,15 @@ Two execution paths, chosen per job by the dispatcher:
 
 * :func:`run_direct` — one ordinary :func:`repro.core.hooi.hooi` call on the
   service's worker thread.  Used for ``execution="sequential"`` /
-  ``"thread"`` jobs and for the process-execution shapes the pooled path
-  does not cover (dimension-tree strategy, CSF storage), which keep the
-  one-shot pool-per-run lifecycle.
+  ``"thread"`` jobs and for the one process-execution shape the pooled path
+  does not cover (the dimension-tree strategy, whose fiber-parallel arena
+  layout keeps the one-shot pool-per-run lifecycle).
 
 * :func:`run_process_batch` — the persistent-pool path.  All jobs of the
-  batch are prepared up front (dtype policy, per-mode symbolic data,
-  initial factors — the same steps, in the same order, the engine's own
-  :class:`~repro.engine.backend.ProcessBackend` performs), packed into ONE
+  batch are prepared up front (dtype policy, per-mode symbolic data or
+  per-mode rooted CSF trees, initial factors — the same steps, in the same
+  order, the engine's own :class:`~repro.engine.backend.ProcessBackend` /
+  :class:`~repro.engine.backend.ProcessCSFBackend` perform), packed into ONE
   :meth:`~repro.parallel.process_pool.HOOIProcessPool.for_per_mode_batch`
   generation on the manager's crew, and then run one engine at a time
   through :class:`PooledProcessBackend`.  A batch costs one worker
@@ -66,12 +67,12 @@ Outcome = Tuple[Job, str, object]
 def pooled_eligible(job: Job) -> bool:
     """Whether a job can run on the persistent crew's batched generations.
 
-    The batched arena layout implements the per-mode row-parallel TTMc over
-    COO storage — the same coverage as the engine's own process pool.  The
-    dimension-tree strategy keeps its dedicated (fiber-parallel) arena
-    layout and CSF does not compose with process execution at all
-    (:meth:`HOOIOptions.validate` rejects it), so those shapes fall back to
-    :func:`run_direct`.
+    The batched arena layout implements the per-mode TTMc for both tensor
+    formats: row-parallel chunks over COO storage and root-fiber-slab
+    pullups over shared-memory CSF trees (members of one batch can mix
+    formats).  Only the dimension-tree strategy falls back to
+    :func:`run_direct` — it keeps its dedicated fiber-parallel arena
+    layout and one-shot pool-per-run lifecycle.
 
     Judged on the job's *effective* options: a job the degradation ladder
     moved off the process tier routes through :func:`run_direct` from then
@@ -81,7 +82,6 @@ def pooled_eligible(job: Job) -> bool:
     return (
         opts.execution == "process"
         and (opts.ttmc_strategy or "per-mode") == "per-mode"
-        and (opts.tensor_format or "coo") == "coo"
     )
 
 
@@ -184,15 +184,20 @@ class PooledProcessBackend(SequentialBackend):
 
 def _prepare_member(
     job: Job,
-) -> Tuple[SparseTensor, Dict, List[np.ndarray], Optional[CheckpointState]]:
-    """Apply the dtype policy and build symbolic data + initial factors.
+) -> Tuple[
+    SparseTensor, Dict, object, List[np.ndarray], Optional[CheckpointState]
+]:
+    """Apply the dtype policy and build symbolic/tree data + initial factors.
 
     Mirrors the engine's own setup order (``prepare_tensor`` →
     ``initial_factors`` → ``prepare``) so a pooled run is bit-for-bit the
-    computation a direct ``execution="process"`` run performs.  A resumed
-    attempt substitutes the checkpoint's factors here — the batch arena
-    packs every member's factors at construction time, so the workers must
-    see the checkpointed state, not the initializer's.
+    computation a direct ``execution="process"`` run performs.  A COO
+    member builds per-mode symbolic data; a CSF member builds the per-mode
+    rooted :class:`~repro.sparse.csf.CSFTensorSet` the arena serializes
+    (its TTMc needs no symbolic records — the trees carry the structure).
+    A resumed attempt substitutes the checkpoint's factors here — the batch
+    arena packs every member's factors at construction time, so the workers
+    must see the checkpointed state, not the initializer's.
     """
     request = job.request
     opts = job.effective_options
@@ -212,8 +217,17 @@ def _prepare_member(
                 tensor, list(request.ranks), init=opts.init, seed=opts.seed
             )
         ]
-    symbolic = {mode: symbolic_ttmc(tensor, mode) for mode in range(tensor.order)}
-    return tensor, symbolic, factors, resume
+    if (opts.tensor_format or "coo") == "csf":
+        from repro.sparse import CSFTensorSet
+
+        trees = CSFTensorSet.per_mode(tensor)
+        symbolic: Dict = {}
+    else:
+        trees = None
+        symbolic = {
+            mode: symbolic_ttmc(tensor, mode) for mode in range(tensor.order)
+        }
+    return tensor, symbolic, trees, factors, resume
 
 
 def run_process_batch(
@@ -234,7 +248,7 @@ def run_process_batch(
     try:
         maybe_fail("serving.run_batch")
         for job in jobs:
-            tensor, symbolic, factors, resume = _prepare_member(job)
+            tensor, symbolic, trees, factors, resume = _prepare_member(job)
             opts = job.effective_options
             members.append(
                 (
@@ -251,6 +265,8 @@ def run_process_batch(
                         ranks=list(job.request.ranks),
                         block_nnz=opts.block_nnz,
                         kernel=opts.kernel or "numpy",
+                        tensor_format=opts.tensor_format or "coo",
+                        trees=trees,
                     ),
                 )
             )

@@ -181,6 +181,46 @@ class CSFTensor:
                 np.searchsorted(starts[level + 1], bounds).astype(np.int64)
             )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        shape: Sequence[int],
+        mode_order: Sequence[int],
+        fids: Sequence[np.ndarray],
+        fptr: Sequence[np.ndarray],
+        values: np.ndarray,
+    ) -> "CSFTensor":
+        """Reassemble a tree from its level arrays — no sort, no copies.
+
+        The worker side of the shared-memory process pool: the driver
+        serializes a built tree's ``fids``/``fptr``/``values`` into arena
+        segments, and each worker reconstructs the identical tree over its
+        zero-copy views once per attach.  The arrays are trusted to be a
+        consistent CSF (they came out of the constructor on the driver
+        side); only the level-array counts are checked.
+        """
+        shape = tuple(int(s) for s in shape)
+        mode_order = tuple(int(m) for m in mode_order)
+        if sorted(mode_order) != list(range(len(shape))):
+            raise ValueError(
+                f"mode_order must be a permutation of 0..{len(shape) - 1}, "
+                f"got {mode_order}"
+            )
+        if len(fids) != len(shape) or len(fptr) != len(shape) - 1:
+            raise ValueError(
+                f"expected {len(shape)} fids arrays and {len(shape) - 1} fptr "
+                f"arrays, got {len(fids)} / {len(fptr)}"
+            )
+        obj = cls.__new__(cls)
+        obj.shape = shape
+        obj.mode_order = mode_order
+        obj._token = "csf-" + ".".join(str(m) for m in mode_order)
+        obj._groupings = {}
+        obj.fids = list(fids)
+        obj.fptr = list(fptr)
+        obj.values = values
+        return obj
+
     # ------------------------------------------------------------------ #
     # Basic properties
     # ------------------------------------------------------------------ #

@@ -18,13 +18,18 @@ vectors rotate freely even though the fit agrees).
 sequential float64 per-mode oracle of the same ``trsvd_method`` (float32
 within 1e-3); the execution / grain / strategy / format / kernel axes must
 never change the numbers.  *Unsupported* combinations assert
-:class:`ValueError` with an actionable message.  Three composition rules
+:class:`ValueError` with an actionable message.  Two composition rules
 carve the matrix: the distributed grains support only the Lanczos TRSVD,
-``tensor_format="csf"`` replaces the TTMc evaluation strategy, so it
-excludes ``ttmc_strategy="dimtree"`` (and ``execution="process"``, asserted
-separately alongside the other process rejections), and ``kernel="numba"``
-serves only the per-mode COO/CSF sweeps — the dimension tree's subset-fiber
-kernels have no compiled implementation.
+and ``kernel="numba"`` serves only the per-mode COO/CSF sweeps — the
+dimension tree's subset-fiber kernels have no compiled implementation
+(the rejection names the missing entry points and why
+``REPRO_KERNEL_FORCE_PYTHON`` cannot bridge them).  The former csf holes
+are closed: ``tensor_format="csf"`` composes with
+``ttmc_strategy="dimtree"`` (the tree's nodes are built over the shared
+CSF tree's fiber subtrees) and with ``execution="process"`` (the CSF level
+arrays ride the shared-memory arena; parity asserted in
+:class:`TestCSFProcessParity` alongside the other real-worker-pool
+checks).
 :meth:`repro.core.hooi.HOOIOptions.validate` is the single implementation of
 these rules; this file is their executable spec — extend both together when
 adding an option value (see CONTRIBUTING.md).
@@ -67,8 +72,6 @@ def combo_supported(
     grain: str, strategy: str, trsvd_method: str, fmt: str, kernel: str
 ) -> bool:
     """The composition rule of the matrix (mirrors HOOIOptions.validate)."""
-    if fmt == "csf" and strategy == "dimtree":
-        return False  # two competing TTMc strategies — pick one
     if kernel == "numba" and strategy == "dimtree":
         return False  # no compiled subset-fiber kernels
     if grain == "single-node":
@@ -79,11 +82,11 @@ def combo_supported(
 def unsupported_match(
     grain: str, strategy: str, trsvd_method: str, fmt: str, kernel: str
 ) -> str:
-    """Substring the rejection message must contain (csf×dimtree fires first)."""
-    if fmt == "csf" and strategy == "dimtree":
-        return "dimtree"
+    """Substring the rejection message must contain."""
     if kernel == "numba" and strategy == "dimtree":
-        return "numba"
+        # The fail-fast must name the missing entry points and say why the
+        # interpreted-fallback hook cannot serve them.
+        return "REPRO_KERNEL_FORCE_PYTHON"
     return "lanczos"
 
 
@@ -243,15 +246,98 @@ class TestUnsupportedCombinations:
         with pytest.raises(ValueError, match="lanczos"):
             distributed_hooi(tensor, RANKS, partitions["fine"], options)
 
-    @pytest.mark.parametrize("grain", GRAINS)
-    def test_csf_rejects_process_execution(self, tensor, partitions, grain):
-        """The CSF level arrays are not in the shared-memory pool yet."""
-        options = HOOIOptions(
-            max_iterations=1, tensor_format="csf", execution="process",
-            num_workers=2,
+    def test_numba_dimtree_rejection_names_missing_kernels(self):
+        """The fail-fast names the unimplemented entry points by name."""
+        from repro.kernels import MISSING_DIMTREE_KERNELS
+
+        options = HOOIOptions(kernel="numba", ttmc_strategy="dimtree")
+        with pytest.raises(ValueError) as excinfo:
+            options.validate()
+        message = str(excinfo.value)
+        for name in MISSING_DIMTREE_KERNELS:
+            assert name in message
+        assert "REPRO_KERNEL_FORCE_PYTHON" in message
+        assert "MISSING_DIMTREE_KERNELS" in message
+
+
+class TestCSFProcessParity:
+    """csf × process through the real worker pool, both TTMc strategies.
+
+    The former hole: ``HOOIOptions.validate`` used to reject
+    ``tensor_format='csf'`` with ``execution='process'``.  Now the CSF
+    level arrays ride the shared-memory arena (per-mode rooted trees →
+    root-fiber slabs; dimension trees → CSF-sourced node payloads) and the
+    numbers must match the sequential COO oracle like every other
+    execution tier.
+    """
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_parity_with_sequential_oracle(
+        self, tensor, oracles, strategy, dtype
+    ):
+        options = build_options("process", strategy, "lanczos", dtype, "csf")
+        result = hooi(tensor, RANKS, options)
+        oracle = oracles["lanczos"]
+        tol = 1e-10 if dtype == "float64" else 1e-3
+        assert np.allclose(result.fit_history, oracle.fit_history, atol=tol)
+        for ours, ref in zip(
+            result.decomposition.factors, oracle.decomposition.factors
+        ):
+            assert np.allclose(
+                np.asarray(ours, dtype=np.float64), ref, atol=tol
+            )
+
+
+class TestDegradationRungs:
+    """Every rung of the full (process, numba, csf) descent is sound.
+
+    The ladder degrades one axis at a time (execution → kernel → format),
+    so with csf × process legal every intermediate configuration —
+    ``thread×numba×csf``, ``sequential×numba×csf``, ``sequential×numpy×csf``
+    — must itself validate and reproduce the oracle at 1e-10.  A CSF job
+    leaving a broken process pool keeps its compressed layout.
+    """
+
+    def test_descent_order(self):
+        from repro.resilience import DegradationLadder
+
+        steps = DegradationLadder().steps_from(
+            execution="process", kernel="numba", tensor_format="csf"
         )
-        with pytest.raises(ValueError, match="process"):
-            run_combo(tensor, partitions, grain, options)
+        assert [(s.field, s.to_value) for s in steps] == [
+            ("execution", "thread"),
+            ("execution", "sequential"),
+            ("kernel", "numpy"),
+            ("tensor_format", "coo"),
+        ]
+
+    def test_every_rung_valid_and_interchangeable(self, tensor, oracles):
+        from repro.resilience import DegradationLadder
+
+        current = {
+            "execution": "process", "kernel": "numba", "tensor_format": "csf",
+        }
+        rungs = [dict(current)]
+        for step in DegradationLadder().steps_from(**current):
+            current[step.field] = step.to_value
+            rungs.append(dict(current))
+        oracle = oracles["lanczos"]
+        for rung in rungs:
+            options = HOOIOptions(
+                max_iterations=ITERATIONS, init="random", seed=0,
+                trsvd_method="lanczos",
+                num_workers=2 if rung["execution"] != "sequential" else 1,
+                **rung,
+            ).validate()
+            result = hooi(tensor, RANKS, options)
+            assert np.allclose(
+                result.fit_history, oracle.fit_history, atol=1e-10
+            ), rung
+            for ours, ref in zip(
+                result.decomposition.factors, oracle.decomposition.factors
+            ):
+                assert np.allclose(ours, ref, atol=1e-10), rung
 
 
 class TestUnknownOptionValues:
@@ -298,3 +384,85 @@ class TestUnknownOptionValues:
         options = HOOIOptions(execution="thread", num_workers=2)
         assert options.validate() is options
         assert options.validate(context="distributed") is options
+
+
+class TestCSFDimtreeInvalidationProperty:
+    """CSF-sourced trees obey the same cache semantics as COO-sourced ones.
+
+    Property (hypothesis): build one COO-sourced and one CSF-sourced
+    dimension tree over the same random tensor, refresh every mode, then
+    replace factor ``n`` and invalidate it — the set of still-fresh nodes
+    (by mode range) and every refreshed matricization must match the
+    COO tree's exactly.  The tree's version-counter logic is shared, so
+    this pins the *source* abstraction: swapping the leaf/edge walks from
+    COO subset grouping to CSF pullups may not change what the cache
+    considers stale nor what it recomputes.
+    """
+
+    @staticmethod
+    def _random_tensor(rng, order):
+        from repro.core.sparse_tensor import SparseTensor
+
+        shape = tuple(int(rng.integers(3, 7)) for _ in range(order))
+        raw = np.stack(
+            [rng.integers(0, s, 60) for s in shape], axis=1
+        )
+        idx = np.unique(raw, axis=0)
+        values = rng.standard_normal(len(idx))
+        return SparseTensor(idx, values, shape)
+
+    def test_invalidation_parity(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        from repro.engine.dimtree import DimensionTree
+
+        @settings(
+            max_examples=25,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        @given(
+            seed=st.integers(0, 2**31 - 1),
+            order=st.integers(3, 4),
+            data=st.data(),
+        )
+        def property_case(seed, order, data):
+            rng = np.random.default_rng(seed)
+            tensor = self._random_tensor(rng, order)
+            mode_n = data.draw(
+                st.integers(0, order - 1), label="invalidated mode"
+            )
+            ranks = [int(rng.integers(1, 4)) for _ in range(order)]
+            factors = [
+                rng.standard_normal((s, r))
+                for s, r in zip(tensor.shape, ranks)
+            ]
+            coo_tree = DimensionTree(tensor, source="coo")
+            csf_tree = DimensionTree(tensor, source="csf")
+            trees = (coo_tree, csf_tree)
+            for tree in trees:
+                for mode in range(order):
+                    tree.leaf_matricized(mode, factors)
+            # Replace factor n; both trees must agree on what went stale.
+            factors[mode_n] = rng.standard_normal(factors[mode_n].shape)
+            for tree in trees:
+                tree.invalidate_factor(mode_n)
+            fresh_coo = {(n.lo, n.hi) for n in coo_tree.fresh_nodes()}
+            fresh_csf = {(n.lo, n.hi) for n in csf_tree.fresh_nodes()}
+            assert fresh_csf == fresh_coo
+            # A freshly built tree is the oracle for post-refresh numerics:
+            # the stale-path refresh must equal a from-scratch evaluation.
+            fresh_tree = DimensionTree(tensor, source="coo")
+            for mode in range(order):
+                expected = fresh_tree.leaf_matricized(mode, factors)
+                got_coo = coo_tree.leaf_matricized(mode, factors)
+                got_csf = csf_tree.leaf_matricized(mode, factors)
+                np.testing.assert_allclose(got_coo, expected, atol=1e-12)
+                np.testing.assert_allclose(got_csf, expected, atol=1e-12)
+            assert {(n.lo, n.hi) for n in coo_tree.fresh_nodes()} == {
+                (n.lo, n.hi) for n in csf_tree.fresh_nodes()
+            }
+
+        property_case()

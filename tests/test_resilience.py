@@ -167,6 +167,53 @@ class TestResume:
         assert res.resumed_sweeps == 2
         assert res.completed_sweeps == 5
 
+    def test_old_spelling_checkpoint_resumes(self, tmp_path):
+        """Checkpoints recorded with ``None`` axis spellings still resume.
+
+        Pre-normalization builds serialized options exactly as constructed,
+        so a checkpoint may carry ``ttmc_strategy: None`` where the current
+        run says ``"per-mode"``.  Those are the same configuration;
+        ``check_resume_compatible`` must not reject the resume over a
+        spelling split (it normalizes both sides via
+        :func:`repro.core.hooi.normalize_axis_fields`).
+        """
+        t = _tensor()
+        hooi(t, 4, HOOIOptions(
+            max_iterations=2, checkpoint_dir=str(tmp_path), **GRAM
+        ))
+        ck = Checkpointer(tmp_path)
+        state = ck.load()
+        # Rewrite the recorded options the way an old build spelled them.
+        for key in (
+            "ttmc_strategy", "execution", "tensor_format", "kernel",
+            "fallback",
+        ):
+            assert state.options[key] is not None  # new builds are concrete
+            state.options[key] = None
+        res = hooi(t, 4, HOOIOptions(
+            max_iterations=5, checkpoint_dir=str(tmp_path), **GRAM
+        ), resume=state)
+        assert res.resumed_sweeps == 2
+        assert res.completed_sweeps == 5
+
+    def test_validate_normalizes_axis_spellings(self):
+        """validate() writes concrete values back onto None axis fields."""
+        opts = HOOIOptions(
+            ttmc_strategy=None, execution=None, tensor_format=None,
+            kernel=None, fallback=None,
+        ).validate()
+        assert opts.ttmc_strategy == "per-mode"
+        assert opts.execution == "sequential"
+        assert opts.tensor_format == "coo"
+        assert opts.kernel == "numpy"
+        assert opts.fallback == "ladder"
+        # The fingerprint of the normalized object equals the all-defaults
+        # one — no None-vs-concrete identity split downstream.
+        assert (
+            opts.options_fingerprint()
+            == HOOIOptions().validate().options_fingerprint()
+        )
+
     def test_resume_past_budget_reports_resumed(self, tmp_path):
         t = _tensor()
         full = hooi(t, 4, HOOIOptions(

@@ -438,12 +438,13 @@ class TestAdmission:
     def test_invalid_requests_rejected_at_admission(self, small_tensor_3d):
         async def main():
             async with _service(warmup=False) as service:
-                with pytest.raises(ValueError, match="csf"):
+                # numba × dimtree is the one remaining composition hole.
+                with pytest.raises(ValueError, match="dimtree"):
                     await service.submit(
                         small_tensor_3d,
                         3,
-                        execution="process",
-                        tensor_format="csf",
+                        kernel="numba",
+                        ttmc_strategy="dimtree",
                     )
                 with pytest.raises(ValueError, match="max_iterations"):
                     await service.submit(small_tensor_3d, 3, max_iter=2)
