@@ -1,0 +1,122 @@
+"""Benchmark: warm-started incremental HOOI vs cold re-decomposition.
+
+The streaming acceptance gate (ISSUE 10): over a 10-batch drifting
+low-rank stream — one bulk load followed by small appended deltas whose
+planted subspaces random-walk between batches
+(:func:`~repro.data.lowrank.drifting_lowrank_stream`) — a
+:class:`~repro.streaming.StreamingSession` that re-enters HOOI from the
+previous factors must reach the cold path's final fit with at least
+``REPRO_STREAMING_SWEEP_FACTOR``× (default 2×) fewer total sweeps than
+solving every snapshot from a fresh random initialization.
+
+Sweeps, not seconds, are the gated quantity: per-sweep cost is identical on
+both paths (same engine, same tensor snapshot), so the sweep ratio is the
+machine-independent measure of what the warm start buys.  Both paths are
+also registered as pytest-benchmark kernels so the committed
+``BENCH_baseline.json`` tracks their wall-clock and
+``scripts/compare_bench.py`` gates regressions (the "Streaming warm-start
+acceptance" CI step runs the gate by name before the aggregate comparison).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.hooi import HOOIOptions, hooi
+from repro.data.lowrank import drifting_lowrank_stream
+from repro.streaming import DeltaBatch, StreamingSession, StreamingTensor
+
+SHAPE = (40, 35, 30)
+RANKS = (4, 4, 4)
+#: The bulk first batch; later deltas are cut down to DELTA_NNZ entries.
+INITIAL_NNZ = 3000
+DELTA_NNZ = 200
+NUM_BATCHES = 10
+
+#: Required cold-over-warm total-sweep factor.
+EXPECTED_SWEEP_FACTOR = float(
+    os.environ.get("REPRO_STREAMING_SWEEP_FACTOR", "2.0")
+)
+
+#: Warm and cold runs share one solver configuration; ``tolerance`` is the
+#: convergence criterion, so "sweeps" means sweeps-to-tolerance on both
+#: sides, capped by the same budget.
+SOLVER = dict(
+    init="random",
+    seed=0,
+    max_iterations=25,
+    tolerance=1e-6,
+    trsvd_method="gram",
+)
+
+
+@pytest.fixture(scope="module")
+def batches():
+    """The drifting stream: one bulk load, then nine small drifted deltas."""
+    raw = list(
+        drifting_lowrank_stream(
+            SHAPE,
+            RANKS,
+            INITIAL_NNZ,
+            NUM_BATCHES,
+            drift=0.02,
+            noise=0.01,
+            seed=42,
+        )
+    )
+    return [raw[0]] + [
+        DeltaBatch(
+            b.indices[:DELTA_NNZ],
+            b.values[:DELTA_NNZ],
+            merge_duplicates=False,
+        )
+        for b in raw[1:]
+    ]
+
+
+def run_cold(batches):
+    """Re-decompose every snapshot from scratch; return (sweeps, fits)."""
+    stream = StreamingTensor(shape=SHAPE)
+    total_sweeps, fits = 0, []
+    for batch in batches:
+        stream.append(batch)
+        result = hooi(stream.tensor, list(RANKS), HOOIOptions(**SOLVER))
+        total_sweeps += result.iterations
+        fits.append(result.fit)
+    return total_sweeps, fits
+
+
+def run_warm(batches):
+    """Track the stream with a warm-started session; return (sweeps, fits)."""
+    stream = StreamingTensor(shape=SHAPE)
+    session = StreamingSession(
+        stream, RANKS, adaptive=True, min_sweeps=1, **SOLVER
+    )
+    fits = [session.update(batch).fit for batch in batches]
+    return session.total_sweeps, fits
+
+
+def test_warmstart_halves_total_sweeps(batches):
+    """The acceptance gate: >= 2x fewer sweeps at no worse final fit."""
+    cold_sweeps, cold_fits = run_cold(batches)
+    warm_sweeps, warm_fits = run_warm(batches)
+    assert warm_fits[-1] >= cold_fits[-1] - 1e-3, (
+        f"warm-started stream ended at fit {warm_fits[-1]:.6f}, below the "
+        f"cold path's {cold_fits[-1]:.6f}"
+    )
+    factor = cold_sweeps / warm_sweeps
+    assert factor >= EXPECTED_SWEEP_FACTOR, (
+        f"warm-started stream used {warm_sweeps} total sweeps vs "
+        f"{cold_sweeps} cold — {factor:.2f}x, below the required "
+        f"{EXPECTED_SWEEP_FACTOR:.2f}x"
+    )
+
+
+def test_stream_warmstart(benchmark, batches):
+    benchmark.pedantic(run_warm, args=(batches,), rounds=3, warmup_rounds=1)
+
+
+def test_stream_cold_resolve(benchmark, batches):
+    benchmark.pedantic(run_cold, args=(batches,), rounds=3, warmup_rounds=1)

@@ -25,8 +25,11 @@ The public API is re-exported from the subpackages:
 * :mod:`repro.resilience` — fault tolerance: sweep checkpoint/resume, the
   graceful-degradation ladder + circuit breaker, the retry policy, and the
   deterministic fault-injection harness.
+* :mod:`repro.streaming` — incremental tensor ingestion (append-only
+  batches with incremental CSF maintenance), warm-started incremental
+  HOOI, and out-of-core decomposition over memory-mapped CSF trees.
 * :mod:`repro.data` — synthetic tensors (including analogs of the paper's
-  four datasets) and FROSTT-style text IO.
+  four datasets) and FROSTT-style text IO with a chunked reader.
 * :mod:`repro.experiments` — the per-table/figure reproduction harness.
 
 :func:`decompose` is the recommended entry point: one keyword-only call
@@ -46,8 +49,9 @@ from repro.core import (
 from repro.engine import HOOIEngine, WorkspacePool
 from repro.resilience import CheckpointState, Checkpointer
 from repro.serving import DecompositionService
+from repro.streaming import DeltaBatch, StreamingSession, StreamingTensor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SparseTensor",
@@ -62,5 +66,8 @@ __all__ = [
     "DecompositionService",
     "Checkpointer",
     "CheckpointState",
+    "DeltaBatch",
+    "StreamingTensor",
+    "StreamingSession",
     "__version__",
 ]

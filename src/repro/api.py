@@ -42,6 +42,7 @@ def decompose(
     cancel_check: Optional[Callable[[], None]] = None,
     checkpoint=None,
     resume=None,
+    resume_factors=None,
     **option_kwargs,
 ):
     """Tucker-decompose ``tensor`` at the given rank(s), one call for every driver.
@@ -49,7 +50,9 @@ def decompose(
     Parameters
     ----------
     tensor:
-        The sparse input tensor (:class:`~repro.core.sparse_tensor.SparseTensor`).
+        The sparse input tensor (:class:`~repro.core.sparse_tensor.SparseTensor`),
+        or a :class:`~repro.streaming.StreamingTensor` whose merged snapshot
+        is decomposed.
     rank:
         Per-mode ranks ``R_1, ..., R_N`` (a scalar is broadcast).
     execution:
@@ -81,6 +84,15 @@ def decompose(
         options; ``resume`` is a checkpoint state, a file path, or
         ``"auto"`` (see :func:`repro.core.hooi.hooi`).  The distributed
         driver has no checkpoint seam yet and rejects both.
+    resume_factors:
+        Warm-start factor matrices (single-node engine only), typically a
+        previous run's ``result.decomposition.factors`` over a tensor that
+        has since received streaming appends.  They are conformed to the
+        current shape and ranks (:func:`repro.streaming.conform_factors` —
+        grown modes get fresh rows, changed ranks keep the leading columns)
+        and installed as the ``init``.  Distinct from ``resume``: a
+        checkpoint resumes *this* run's sweep counter and RNG state, while
+        ``resume_factors`` seed a *fresh* run from learned subspaces.
     **option_kwargs:
         Any :class:`HOOIOptions` field, e.g. ``trsvd_method="gram"``,
         ``tensor_format="csf"``, ``num_workers=4``, ``dtype="float32"``.
@@ -98,6 +110,10 @@ def decompose(
             f"{DECOMPOSE_EXECUTIONS} (single-node engine values plus "
             "'distributed' for the simulated-MPI driver)"
         )
+    from repro.streaming.tensor import StreamingTensor
+
+    if isinstance(tensor, StreamingTensor):
+        tensor = tensor.tensor
     if isinstance(options, HOOIOptions):
         base = options.to_dict()
     elif options is None:
@@ -112,6 +128,14 @@ def decompose(
     base.update(option_kwargs)
 
     if execution == "distributed":
+        if resume_factors is not None:
+            raise ValueError(
+                "resume_factors= applies to the single-node engine only: "
+                "the distributed driver initializes factors inside its "
+                "simulated ranks — run the warm-started job on "
+                "execution='sequential'/'thread'/'process', or drop "
+                "resume_factors"
+            )
         if checkpoint is not None or resume is not None:
             raise ValueError(
                 "checkpoint=/resume= apply to the single-node engine only: "
@@ -141,6 +165,15 @@ def decompose(
         )
     base["execution"] = execution
     opts = HOOIOptions.from_dict(base)
+    if resume_factors is not None:
+        import dataclasses
+
+        from repro.streaming.warmstart import conform_factors
+
+        opts = dataclasses.replace(
+            opts,
+            init=conform_factors(resume_factors, tensor.shape, rank),
+        )
     return hooi(
         tensor,
         rank,

@@ -5,25 +5,31 @@ from repro.data.synthetic import (
     random_sparse_tensor,
     zipf_indices,
 )
-from repro.data.lowrank import planted_lowrank_tensor, random_tucker_tensor
+from repro.data.lowrank import (
+    drifting_lowrank_stream,
+    planted_lowrank_tensor,
+    random_tucker_tensor,
+)
 from repro.data.datasets import (
     PAPER_DATASETS,
     DatasetSpec,
     dataset_table,
     make_dataset,
 )
-from repro.data.io import read_tns, write_tns
+from repro.data.io import iter_tns_chunks, read_tns, write_tns
 
 __all__ = [
     "power_law_sparse_tensor",
     "random_sparse_tensor",
     "zipf_indices",
+    "drifting_lowrank_stream",
     "planted_lowrank_tensor",
     "random_tucker_tensor",
     "PAPER_DATASETS",
     "DatasetSpec",
     "dataset_table",
     "make_dataset",
+    "iter_tns_chunks",
     "read_tns",
     "write_tns",
 ]

@@ -10,15 +10,20 @@ from the maximum index per mode.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.sparse_tensor import SparseTensor
 
-__all__ = ["write_tns", "read_tns"]
+__all__ = ["write_tns", "read_tns", "iter_tns_chunks", "TnsChunkReader"]
 
 PathLike = Union[str, Path]
+
+#: Default nonzeros per chunk of the streaming reader: ~8 MiB of parsed
+#: arrays for a 4-mode tensor, small enough that the transient Python-object
+#: parse state never dominates peak memory.
+DEFAULT_CHUNK_NNZ = 262_144
 
 
 def write_tns(tensor: SparseTensor, path: PathLike, *, header: bool = True) -> None:
@@ -34,11 +39,82 @@ def write_tns(tensor: SparseTensor, path: PathLike, *, header: bool = True) -> N
             handle.write(f"{coords} {float(value):.17g}\n")
 
 
+class TnsChunkReader:
+    """Iterate a ``.tns`` file as ``(indices, values)`` array chunks.
+
+    Each iteration pass re-opens the file and yields 0-based int64 index
+    blocks of at most ``chunk_nnz`` rows with their float64 values, in file
+    order — the parse state held at any moment is one chunk, never the whole
+    coordinate list.  This is the ingestion seam shared by :func:`read_tns`
+    (one-shot loads with bounded peak memory) and the streaming layer
+    (:meth:`repro.streaming.StreamingTensor.from_tns` turns each chunk into
+    an append batch; :func:`repro.streaming.build_out_of_core` spools chunks
+    into memory-mapped CSF trees).
+
+    ``header_shape`` is populated from a ``# shape:`` comment as soon as the
+    line is parsed (complete once iteration finishes); malformed lines and
+    per-line arity changes raise :class:`ValueError` mid-iteration with the
+    same messages the eager reader used.
+    """
+
+    def __init__(self, path: PathLike, *, chunk_nnz: int = DEFAULT_CHUNK_NNZ) -> None:
+        if int(chunk_nnz) < 1:
+            raise ValueError(f"chunk_nnz must be >= 1, got {chunk_nnz}")
+        self.path = Path(path)
+        self.chunk_nnz = int(chunk_nnz)
+        self.header_shape: Optional[Tuple[int, ...]] = None
+        self.order: Optional[int] = None
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices: list = []
+        values: list = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    body = line[1:].strip()
+                    if body.lower().startswith("shape:"):
+                        self.header_shape = tuple(
+                            int(tok) for tok in body[6:].split()
+                        )
+                    continue
+                tokens = line.split()
+                if len(tokens) < 2:
+                    raise ValueError(f"malformed .tns line: {line!r}")
+                if self.order is None:
+                    self.order = len(tokens) - 1
+                elif len(tokens) - 1 != self.order:
+                    raise ValueError("inconsistent number of indices per line")
+                indices.append([int(tok) - 1 for tok in tokens[:-1]])
+                values.append(float(tokens[-1]))
+                if len(values) >= self.chunk_nnz:
+                    yield self._emit(indices, values)
+                    indices, values = [], []
+        if values:
+            yield self._emit(indices, values)
+
+    def _emit(self, indices: list, values: list) -> Tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(indices, dtype=np.int64).reshape(len(values), -1),
+            np.asarray(values, dtype=np.float64),
+        )
+
+
+def iter_tns_chunks(
+    path: PathLike, *, chunk_nnz: int = DEFAULT_CHUNK_NNZ
+) -> TnsChunkReader:
+    """A re-iterable chunked view of a ``.tns`` file (see :class:`TnsChunkReader`)."""
+    return TnsChunkReader(path, chunk_nnz=chunk_nnz)
+
+
 def read_tns(
     path: PathLike,
     *,
     shape: Optional[Sequence[int]] = None,
     sum_duplicates: bool = True,
+    chunk_nnz: int = DEFAULT_CHUNK_NNZ,
 ) -> SparseTensor:
     """Read a ``.tns`` text file.
 
@@ -53,40 +129,41 @@ def read_tns(
     only to inspect a file's raw contents, and call
     :meth:`~repro.core.sparse_tensor.SparseTensor.deduplicate` before any
     numeric use.
+
+    Parsing streams through :func:`iter_tns_chunks` in ``chunk_nnz`` blocks:
+    peak memory is the final arrays plus one chunk of parse state, instead
+    of a Python list-of-lists of every line (roughly 10× the array bytes on
+    CPython).  Duplicate merging is unchanged — values concatenate in file
+    order before the same left-fold dedup, so the result is bit-identical
+    to the eager reader's.
     """
-    path = Path(path)
-    header_shape: Optional[list] = None
-    indices = []
-    values = []
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                body = line[1:].strip()
-                if body.lower().startswith("shape:"):
-                    header_shape = [int(tok) for tok in body[6:].split()]
-                continue
-            tokens = line.split()
-            if len(tokens) < 2:
-                raise ValueError(f"malformed .tns line: {line!r}")
-            indices.append([int(tok) - 1 for tok in tokens[:-1]])
-            values.append(float(tokens[-1]))
-    if not indices:
-        if shape is None and header_shape is None:
+    reader = iter_tns_chunks(path, chunk_nnz=chunk_nnz)
+    index_chunks: list = []
+    value_chunks: list = []
+    for chunk_indices, chunk_values in reader:
+        index_chunks.append(chunk_indices)
+        value_chunks.append(chunk_values)
+    if not index_chunks:
+        if shape is None and reader.header_shape is None:
             raise ValueError("empty .tns file with no shape information")
-        final_shape = tuple(shape) if shape is not None else tuple(header_shape)
+        final_shape = (
+            tuple(shape) if shape is not None else tuple(reader.header_shape)
+        )
         return SparseTensor.empty(final_shape)
-    index_array = np.asarray(indices, dtype=np.int64)
-    value_array = np.asarray(values, dtype=np.float64)
-    orders = {index_array.shape[1]}
-    if len(orders) != 1:
-        raise ValueError("inconsistent number of indices per line")
+    index_array = (
+        index_chunks[0]
+        if len(index_chunks) == 1
+        else np.concatenate(index_chunks, axis=0)
+    )
+    value_array = (
+        value_chunks[0]
+        if len(value_chunks) == 1
+        else np.concatenate(value_chunks)
+    )
     if shape is not None:
         final_shape = tuple(int(s) for s in shape)
-    elif header_shape is not None:
-        final_shape = tuple(header_shape)
+    elif reader.header_shape is not None:
+        final_shape = tuple(reader.header_shape)
     else:
         final_shape = tuple(int(m) + 1 for m in index_array.max(axis=0))
     return SparseTensor(

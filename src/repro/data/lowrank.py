@@ -18,7 +18,11 @@ from repro.core.tucker import TuckerTensor
 from repro.util.linalg import random_orthonormal
 from repro.util.validation import check_rank_vector, check_shape_vector
 
-__all__ = ["random_tucker_tensor", "planted_lowrank_tensor"]
+__all__ = [
+    "random_tucker_tensor",
+    "planted_lowrank_tensor",
+    "drifting_lowrank_stream",
+]
 
 
 def random_tucker_tensor(
@@ -69,3 +73,62 @@ def planted_lowrank_tensor(
         values = values + noise * rng.standard_normal(values.shape[0])
     observed = SparseTensor(tensor.indices, values, shape, copy=False)
     return observed, truth
+
+
+def drifting_lowrank_stream(
+    shape: Sequence[int],
+    ranks: Sequence[int] | int,
+    nnz_per_batch: int,
+    num_batches: int,
+    *,
+    drift: float = 0.05,
+    noise: float = 0.0,
+    seed: Optional[int] = 0,
+):
+    """A stream of observation batches from a slowly-rotating Tucker model.
+
+    The planted subspaces random-walk between batches: each factor takes a
+    Gaussian step of size ``drift`` and is re-orthonormalized (QR), and the
+    core takes a proportional step, so consecutive batches sample *nearby*
+    low-rank models — the regime where a warm-started HOOI should track the
+    drift in a couple of sweeps while a cold solve pays its full iteration
+    count every time.  Yields ``num_batches``
+    :class:`~repro.streaming.DeltaBatch` objects; feed them to a
+    :class:`~repro.streaming.StreamingTensor` /
+    :class:`~repro.streaming.StreamingSession`.
+    """
+    from repro.streaming.delta import DeltaBatch
+
+    shape = check_shape_vector(shape)
+    ranks = check_rank_vector(ranks, shape)
+    model = random_tucker_tensor(shape, ranks, seed=seed)
+    factors = [f.copy() for f in model.factors]
+    core = model.core.copy()
+    rng = np.random.default_rng(None if seed is None else seed + 1)
+    for _ in range(num_batches):
+        indices = np.column_stack(
+            [
+                rng.integers(0, size, size=nnz_per_batch, dtype=np.int64)
+                for size in shape
+            ]
+        )
+        batch = DeltaBatch(
+            indices, np.zeros(indices.shape[0]), merge_duplicates=True
+        )
+        values = TuckerTensor(core=core, factors=factors).reconstruct_entries(
+            batch.indices
+        )
+        if noise > 0:
+            values = values + noise * rng.standard_normal(values.shape[0])
+        yield DeltaBatch(
+            batch.indices, values, copy=False, merge_duplicates=False
+        )
+        if drift > 0:
+            for n, factor in enumerate(factors):
+                stepped = factor + drift * rng.standard_normal(factor.shape)
+                q, r = np.linalg.qr(stepped)
+                # Fix the QR sign ambiguity so a zero step is the identity.
+                factors[n] = q * np.sign(np.diag(r))
+            core = core + drift * np.abs(core).mean() * rng.standard_normal(
+                core.shape
+            )

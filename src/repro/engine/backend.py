@@ -374,19 +374,24 @@ class CSFBackend(SequentialBackend):
     #: Tree layout policies ``__init__`` accepts.
     TREE_POLICIES = ("per-mode", "shared")
 
-    def __init__(self, trees: str = "per-mode") -> None:
+    def __init__(self, trees: str = "per-mode", *, tensors=None) -> None:
         if trees not in self.TREE_POLICIES:
             raise ValueError(
                 f"unknown CSF tree policy {trees!r}: expected one of "
                 f"{self.TREE_POLICIES}"
             )
         self.trees = trees
-        self.tensors = None
+        # A pre-built CSFTensorSet (e.g. memory-mapped trees loaded by the
+        # out-of-core driver) skips the per-run compression in ``prepare``.
+        self._preset_tensors = tensors
+        self.tensors = tensors
 
     def prepare(self, eng) -> None:
         from repro.sparse import CSFTensorSet
 
-        if self.trees == "per-mode":
+        if self._preset_tensors is not None:
+            self.tensors = self._preset_tensors
+        elif self.trees == "per-mode":
             config = self._ttmc_config()
             self.tensors = CSFTensorSet.per_mode(
                 eng.tensor,

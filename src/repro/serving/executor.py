@@ -28,6 +28,7 @@ service's single worker thread.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -109,6 +110,18 @@ def _job_resume(job: Job) -> Optional[CheckpointState]:
     return job.checkpointer.load()
 
 
+def _warm_options(job: Job, opts):
+    """Substitute a delta job's warm-start factors as the initializer.
+
+    A checkpoint resume outranks the warm seed — the checkpoint holds this
+    very job's partial sweeps, strictly newer than the base result's
+    factors — so the substitution only applies on a fresh first attempt.
+    """
+    if job.warm_factors is not None and _job_resume(job) is None:
+        return dataclasses.replace(opts, init=list(job.warm_factors))
+    return opts
+
+
 def run_direct(job: Job, *, workspace: Optional[WorkspacePool] = None) -> Outcome:
     """Run one job through the ordinary driver on the calling thread."""
     request = job.request
@@ -117,7 +130,7 @@ def run_direct(job: Job, *, workspace: Optional[WorkspacePool] = None) -> Outcom
         result = hooi(
             request.tensor,
             list(request.ranks),
-            job.effective_options,
+            _warm_options(job, job.effective_options),
             callback=job.progress_callback,
             workspace=workspace,
             cancel_check=job.make_cancel_check(),
@@ -209,6 +222,10 @@ def _prepare_member(
     if resume is not None:
         factors = [
             np.ascontiguousarray(f, dtype=dtype) for f in resume.factors
+        ]
+    elif job.warm_factors is not None:
+        factors = [
+            np.ascontiguousarray(f, dtype=dtype) for f in job.warm_factors
         ]
     else:
         factors = [

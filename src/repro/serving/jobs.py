@@ -107,6 +107,8 @@ class JobRequest:
         tensor,
         ranks: Union[int, Sequence[int]],
         options: Optional[Union[HOOIOptions, dict]] = None,
+        *,
+        tensor_fingerprint: Optional[str] = None,
         **option_kwargs,
     ) -> "JobRequest":
         """Normalize and fingerprint a submission.
@@ -116,6 +118,11 @@ class JobRequest:
         top.  Unknown option keys and invalid compositions are rejected here
         — at admission time — with the same actionable errors the drivers
         raise, so a bad request never occupies a queue slot.
+
+        ``tensor_fingerprint`` overrides the content hash when the caller
+        already knows the tensor's identity cheaper than a full re-hash —
+        the delta path keys on ``(base fingerprint, batch fingerprint)``
+        instead of re-fingerprinting the merged tensor.
         """
         if isinstance(options, HOOIOptions):
             base = options.to_dict()
@@ -145,7 +152,11 @@ class JobRequest:
             tensor=tensor,
             ranks=tuple(int(r) for r in rank_vec),
             options=opts,
-            tensor_fingerprint=tensor.fingerprint(),
+            tensor_fingerprint=(
+                tensor_fingerprint
+                if tensor_fingerprint is not None
+                else tensor.fingerprint()
+            ),
             request_fingerprint=hashlib.sha256(
                 payload.encode("utf-8")
             ).hexdigest(),
@@ -207,6 +218,10 @@ class Job:
         self.checkpointer = None
         self.fallback_steps: list = []
         self.resumed_sweeps = 0
+        # Warm-start factors (PR 10): conformed matrices a delta submission
+        # seeds its run with instead of the options' initializer.  A
+        # checkpoint resume (this job's own prior sweeps) takes precedence.
+        self.warm_factors: Optional[list] = None
 
     @property
     def effective_options(self) -> HOOIOptions:

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import hashlib
 import itertools
 import time
 import warnings
@@ -211,6 +212,7 @@ class DecompositionService:
         self._submitted = 0
         self._retries = 0
         self._resumed_sweeps = 0
+        self._warm_started = 0
         self._fallbacks: Dict[str, int] = {}
         self._latencies: List[float] = []
         self._started_at: Optional[float] = None
@@ -289,6 +291,88 @@ class DecompositionService:
         from repro.serving.jobs import JobRequest
 
         request = JobRequest.build(tensor, ranks, options, **option_kwargs)
+        return self._admit(request, timeout=timeout)
+
+    async def submit_delta(
+        self,
+        base: Union[JobHandle, str],
+        batch,
+        *,
+        ranks=None,
+        options: Optional[Union[HOOIOptions, dict]] = None,
+        timeout=_UNSET,
+        **option_kwargs,
+    ) -> JobHandle:
+        """Admit a decomposition of a previous job's tensor plus a delta.
+
+        ``base`` is the :class:`JobHandle` (or job id) of an earlier
+        submission; ``batch`` anything
+        :meth:`repro.streaming.DeltaBatch.coerce` accepts.  The delta is
+        applied eagerly (:func:`repro.streaming.apply_delta`) and the
+        result admitted like any job, with two streaming twists.  The cache
+        identity is derived, not re-hashed: the tensor fingerprint is a
+        digest of ``(base fingerprint, batch fingerprint)``, so resubmitting
+        the same delta on the same base hits the cache without touching the
+        merged nonzeros.  And when the base job's result is available (its
+        future, or the result cache), its factor matrices — conformed to the
+        grown shape and the requested ranks — seed the new run as a warm
+        start, counted in ``metrics()['jobs']['warm_started']``.
+
+        ``ranks`` / ``options`` default to the base request's; overrides
+        follow :meth:`submit`.
+        """
+        if not self._started or self._closing:
+            raise AdmissionError(
+                "the service is not accepting submissions "
+                "(not started or closing)"
+            )
+        from repro.serving.jobs import JobRequest
+        from repro.streaming.delta import DeltaBatch, apply_delta
+        from repro.streaming.warmstart import conform_factors
+
+        base_handle = self.get_job(base) if isinstance(base, str) else base
+        if base_handle is None:
+            raise ValueError(
+                f"unknown base job {base!r}: submit_delta needs the handle "
+                "(or id) of a job this service admitted"
+            )
+        base_request = base_handle.request
+        batch = DeltaBatch.coerce(batch)
+        tensor = apply_delta(base_request.tensor, batch)
+        digest = hashlib.sha256(
+            "repro-delta/1|{}|{}".format(
+                base_request.tensor_fingerprint, batch.fingerprint()
+            ).encode("ascii")
+        ).hexdigest()
+        request = JobRequest.build(
+            tensor,
+            base_request.ranks if ranks is None else ranks,
+            base_request.options if options is None else options,
+            tensor_fingerprint=digest,
+            **option_kwargs,
+        )
+
+        warm_factors = None
+        base_result = self._finished_result(base_handle)
+        if base_result is not None:
+            warm_factors = conform_factors(
+                base_result.decomposition.factors, tensor.shape, request.ranks
+            )
+        return self._admit(request, timeout=timeout, warm_factors=warm_factors)
+
+    def _finished_result(self, handle: JobHandle):
+        """A base job's completed result, from its future or the cache."""
+        future = handle._job.future
+        if future.done() and not future.cancelled():
+            if future.exception() is None:
+                return future.result()
+            return None
+        return self._cache.get(handle.request.cache_key)
+
+    def _admit(
+        self, request, *, timeout=_UNSET, warm_factors=None
+    ) -> JobHandle:
+        """Register, cache-check and enqueue a built request."""
         job_timeout = self.default_timeout if timeout is _UNSET else timeout
         job_id = f"job-{next(self._ids)}"
         future = self._loop.create_future()
@@ -315,6 +399,9 @@ class DecompositionService:
                 f"the service's pending queue is full "
                 f"({self.max_pending} jobs); retry after some drain"
             )
+        if warm_factors is not None:
+            job.warm_factors = list(warm_factors)
+            self._warm_started += 1
         if self.checkpoint_dir is not None:
             # One rolling checkpoint file per logical request, keyed by the
             # cache-key fingerprints: a crash-retried attempt of the same
@@ -585,6 +672,7 @@ class DecompositionService:
                 "cancelled": self._counts[JobState.CANCELLED],
                 "retries": self._retries,
                 "resumed_sweeps": self._resumed_sweeps,
+                "warm_started": self._warm_started,
             },
             "cache": self._cache.snapshot(),
             "pool": {

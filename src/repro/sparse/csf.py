@@ -33,7 +33,9 @@ one rooted tree per mode, or a single shared tree reused for every mode.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,10 +45,65 @@ from repro.util.validation import check_axis
 __all__ = [
     "CSFTensor",
     "CSFTensorSet",
+    "csf_levels_from_sorted",
     "default_mode_order",
     "rooted_mode_order",
     "memory_report",
 ]
+
+#: On-disk manifest filenames of the memory-mapped layouts.
+_CSF_MANIFEST = "csf-manifest.json"
+_SET_MANIFEST = "csf-set-manifest.json"
+
+
+def csf_levels_from_sorted(
+    sorted_indices: np.ndarray, mode_order: Sequence[int]
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Build the ``fids``/``fptr`` level arrays of a lexsorted index block.
+
+    ``sorted_indices`` must already be sorted lexicographically by
+    ``mode_order`` (primary key first) — the constructor sorts and calls
+    this; the streaming layer calls it directly on blocks it keeps sorted
+    incrementally, so a spliced tree is bit-identical to a rebuilt one.
+    """
+    mode_order = tuple(int(m) for m in mode_order)
+    order = len(mode_order)
+    nnz = int(sorted_indices.shape[0])
+    if nnz == 0:
+        return (
+            [np.empty(0, dtype=np.int64) for _ in range(order)],
+            [np.zeros(1, dtype=np.int64) for _ in range(order - 1)],
+        )
+
+    # A node starts at nonzero position t iff the index prefix up to its
+    # level changes there; the change flags accumulate (a level-ℓ break
+    # is also a break at every deeper level), so one boolean array
+    # OR-folded level by level yields every level's fiber starts.
+    change = np.zeros(nnz, dtype=bool)
+    change[0] = True
+    starts: List[np.ndarray] = []
+    for level in range(order - 1):
+        column = sorted_indices[:, mode_order[level]]
+        change[1:] |= column[1:] != column[:-1]
+        starts.append(np.flatnonzero(change).astype(np.int64))
+
+    fids = [
+        sorted_indices[starts[level], mode_order[level]]
+        for level in range(order - 1)
+    ]
+    fids.append(np.ascontiguousarray(sorted_indices[:, mode_order[-1]]))
+    starts.append(np.arange(nnz, dtype=np.int64))  # leaves = nonzeros
+
+    # fptr[ℓ][p] = position of the first level-(ℓ+1) node inside fiber p.
+    # Every level-ℓ start is also a level-(ℓ+1) start, so the pointer is
+    # one vectorized searchsorted per level.
+    fptr = []
+    for level in range(order - 1):
+        bounds = np.concatenate([starts[level], [nnz]])
+        fptr.append(
+            np.searchsorted(starts[level + 1], bounds).astype(np.int64)
+        )
+    return fids, fptr
 
 
 def default_mode_order(shape: Sequence[int]) -> Tuple[int, ...]:
@@ -151,35 +208,7 @@ class CSFTensor:
         ).astype(np.int64)
         sorted_indices = tensor.indices[perm]
         self.values = tensor.values[perm]
-
-        # A node starts at nonzero position t iff the index prefix up to its
-        # level changes there; the change flags accumulate (a level-ℓ break
-        # is also a break at every deeper level), so one boolean array
-        # OR-folded level by level yields every level's fiber starts.
-        change = np.zeros(nnz, dtype=bool)
-        change[0] = True
-        starts: List[np.ndarray] = []
-        for level in range(order - 1):
-            column = sorted_indices[:, mode_order[level]]
-            change[1:] |= column[1:] != column[:-1]
-            starts.append(np.flatnonzero(change).astype(np.int64))
-
-        self.fids = [
-            sorted_indices[starts[level], mode_order[level]]
-            for level in range(order - 1)
-        ]
-        self.fids.append(np.ascontiguousarray(sorted_indices[:, mode_order[-1]]))
-        starts.append(np.arange(nnz, dtype=np.int64))  # leaves = nonzeros
-
-        # fptr[ℓ][p] = position of the first level-(ℓ+1) node inside fiber p.
-        # Every level-ℓ start is also a level-(ℓ+1) start, so the pointer is
-        # one vectorized searchsorted per level.
-        self.fptr = []
-        for level in range(order - 1):
-            bounds = np.concatenate([starts[level], [nnz]])
-            self.fptr.append(
-                np.searchsorted(starts[level + 1], bounds).astype(np.int64)
-            )
+        self.fids, self.fptr = csf_levels_from_sorted(sorted_indices, mode_order)
 
     @classmethod
     def from_arrays(
@@ -267,6 +296,79 @@ class CSFTensor:
         total += sum(int(a.nbytes) for a in self.fids)
         total += sum(int(a.nbytes) for a in self.fptr)
         return int(total)
+
+    def resident_bytes(self) -> int:
+        """Bytes of the level arrays actually resident in process memory.
+
+        Same measure as :meth:`memory_bytes` but excluding memory-mapped
+        arrays (a :meth:`from_mmap` tree's levels are pager-backed views of
+        the on-disk ``.npy`` files, not heap allocations) — the accounting
+        the out-of-core acceptance gate asserts against its RSS cap.
+        """
+        total = 0
+        for array in [self.values, *self.fids, *self.fptr]:
+            if not isinstance(array, np.memmap):
+                total += int(array.nbytes)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Memory-mapped persistence (the out-of-core storage seam)
+    # ------------------------------------------------------------------ #
+    def to_mmap(self, directory: Union[str, Path]) -> Path:
+        """Write the level arrays as ``.npy`` files plus a manifest.
+
+        The inverse, :meth:`from_mmap`, reassembles the identical tree over
+        ``np.load(..., mmap_mode=...)`` views, so a TTMc sweep streams the
+        level arrays through the page cache instead of holding them on the
+        heap — tensors whose trees exceed RAM still decompose
+        (:mod:`repro.streaming.out_of_core`).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        np.save(directory / "values.npy", self.values)
+        for level, array in enumerate(self.fids):
+            np.save(directory / f"fids{level}.npy", array)
+        for level, array in enumerate(self.fptr):
+            np.save(directory / f"fptr{level}.npy", array)
+        manifest = {
+            "schema": "repro-csf-mmap/1",
+            "shape": [int(s) for s in self.shape],
+            "mode_order": [int(m) for m in self.mode_order],
+            "nnz": self.nnz,
+            "dtype": self.values.dtype.str,
+        }
+        (directory / _CSF_MANIFEST).write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        return directory
+
+    @classmethod
+    def from_mmap(
+        cls, directory: Union[str, Path], *, mmap_mode: str = "r"
+    ) -> "CSFTensor":
+        """Reassemble a :meth:`to_mmap` tree over memory-mapped level arrays."""
+        directory = Path(directory)
+        manifest_path = directory / _CSF_MANIFEST
+        if not manifest_path.is_file():
+            raise FileNotFoundError(
+                f"{directory} holds no memory-mapped CSF tree (missing "
+                f"{_CSF_MANIFEST}) — write one with CSFTensor.to_mmap first"
+            )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("schema") != "repro-csf-mmap/1":
+            raise ValueError(
+                f"unsupported CSF mmap schema {manifest.get('schema')!r} "
+                f"in {manifest_path}"
+            )
+        order = len(manifest["shape"])
+        load = lambda name: np.load(directory / name, mmap_mode=mmap_mode)  # noqa: E731
+        return cls.from_arrays(
+            manifest["shape"],
+            manifest["mode_order"],
+            [load(f"fids{level}.npy") for level in range(order)],
+            [load(f"fptr{level}.npy") for level in range(order - 1)],
+            load("values.npy"),
+        )
 
     # ------------------------------------------------------------------ #
     # Structural queries used by the TTMc kernels
@@ -417,6 +519,94 @@ class CSFTensorSet:
 
     def memory_bytes(self) -> int:
         return sum(tree.memory_bytes() for tree in self.trees)
+
+    def resident_bytes(self) -> int:
+        """Heap-resident bytes of the set (memmap-backed levels excluded)."""
+        return sum(tree.resident_bytes() for tree in self.trees)
+
+    # ------------------------------------------------------------------ #
+    # Memory-mapped persistence
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def write_mmap_manifest(
+        directory: Union[str, Path], *, shared: bool, modes: Sequence[int]
+    ) -> Path:
+        """Write the set-level manifest binding per-tree directories.
+
+        Exposed separately from :meth:`to_mmap` so the out-of-core builder
+        can write trees one at a time (holding a single tree in RAM) and
+        still produce a layout :meth:`from_mmap` loads.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "schema": "repro-csf-set-mmap/1",
+            "shared": bool(shared),
+            "modes": [int(m) for m in modes],
+        }
+        path = directory / _SET_MANIFEST
+        path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        return path
+
+    @staticmethod
+    def tree_directory(directory: Union[str, Path], mode: int, *, shared: bool) -> Path:
+        """Per-tree subdirectory of a mmap set layout."""
+        directory = Path(directory)
+        return directory / ("shared" if shared else f"mode-{int(mode)}")
+
+    def to_mmap(self, directory: Union[str, Path]) -> Path:
+        """Write every distinct tree under ``directory`` plus a set manifest."""
+        directory = Path(directory)
+        modes = sorted(self._trees)
+        if self.shared:
+            self.tree_for(modes[0]).to_mmap(
+                self.tree_directory(directory, modes[0], shared=True)
+            )
+        else:
+            for mode in modes:
+                self.tree_for(mode).to_mmap(
+                    self.tree_directory(directory, mode, shared=False)
+                )
+        self.write_mmap_manifest(directory, shared=self.shared, modes=modes)
+        return directory
+
+    @classmethod
+    def from_mmap(
+        cls, directory: Union[str, Path], *, mmap_mode: str = "r"
+    ) -> "CSFTensorSet":
+        """Load a :meth:`to_mmap` layout back as a set of memmap-backed trees."""
+        directory = Path(directory)
+        manifest_path = directory / _SET_MANIFEST
+        if not manifest_path.is_file():
+            raise FileNotFoundError(
+                f"{directory} holds no memory-mapped CSF set (missing "
+                f"{_SET_MANIFEST}) — write one with CSFTensorSet.to_mmap or "
+                "repro.streaming.build_out_of_core"
+            )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("schema") != "repro-csf-set-mmap/1":
+            raise ValueError(
+                f"unsupported CSF set mmap schema {manifest.get('schema')!r} "
+                f"in {manifest_path}"
+            )
+        shared = bool(manifest["shared"])
+        modes = [int(m) for m in manifest["modes"]]
+        if shared:
+            tree = CSFTensor.from_mmap(
+                cls.tree_directory(directory, modes[0], shared=True),
+                mmap_mode=mmap_mode,
+            )
+            return cls({mode: tree for mode in modes}, shared=True)
+        return cls(
+            {
+                mode: CSFTensor.from_mmap(
+                    cls.tree_directory(directory, mode, shared=False),
+                    mmap_mode=mmap_mode,
+                )
+                for mode in modes
+            },
+            shared=False,
+        )
 
 
 def memory_report(tensor: SparseTensor, csf) -> Dict[str, float]:
